@@ -1,0 +1,147 @@
+// Command miramon demonstrates live coolant monitoring: it replays a
+// simulated window through the coolant monitor's threshold alarms and a
+// trained NN early-warning model side by side, showing the early warnings
+// the paper's predictor adds over classic threshold monitoring.
+//
+// Usage:
+//
+//	miramon [-seed N] [-train-days 120] [-watch-days 45]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mira"
+	"mira/internal/core"
+	"mira/internal/sensors"
+	"mira/internal/sim"
+	"mira/internal/timeutil"
+	"mira/internal/topology"
+	"mira/internal/units"
+)
+
+// watcher replays telemetry through threshold checks and the NN predictor.
+type watcher struct {
+	sim.NopRecorder
+	predictor *core.Predictor
+	step      time.Duration
+
+	rings    map[topology.RackID][]sensors.Record
+	warnings int
+	alerts   int
+	events   []string
+}
+
+func newWatcher(p *core.Predictor, step time.Duration) *watcher {
+	return &watcher{predictor: p, step: step, rings: make(map[topology.RackID][]sensors.Record)}
+}
+
+func (w *watcher) OnSample(rec sensors.Record) {
+	ring := append(w.rings[rec.Rack], rec)
+	span := int(core.FeatureSpan/w.step) + 1
+	if len(ring) > span {
+		ring = ring[len(ring)-span:]
+	}
+	w.rings[rec.Rack] = ring
+
+	// Classic threshold monitoring.
+	if alarms := sensors.DefaultThresholds().Check(rec); len(alarms) > 0 {
+		w.warnings++
+		if len(w.events) < 400 {
+			w.events = append(w.events, fmt.Sprintf("%s THRESHOLD %s", rec.Time.Format("2006-01-02 15:04"), alarms[0].Reason))
+		}
+	}
+	// NN early warning on the trailing six-hour deltas.
+	if len(ring) == span {
+		if f, err := core.DeltaFeatures(ring, w.step, 0); err == nil {
+			if p := w.predictor.Probability(f); p > 0.9 {
+				w.alerts++
+				if len(w.events) < 400 {
+					w.events = append(w.events, fmt.Sprintf("%s NN-EARLY-WARNING rack %v p=%.2f", rec.Time.Format("2006-01-02 15:04"), rec.Rack, p))
+				}
+			}
+		}
+	}
+}
+
+func (w *watcher) OnIncident(inc sim.Incident) {
+	if len(w.events) < 400 {
+		w.events = append(w.events, fmt.Sprintf("%s *** CMF at %v, %d racks down, %d jobs killed ***",
+			inc.Time.Format("2006-01-02 15:04"), inc.Epicenter, len(inc.Racks), inc.JobsKilled))
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("miramon: ")
+	var (
+		seed      = flag.Int64("seed", 99, "seed")
+		trainDays = flag.Int("train-days", 150, "days of telemetry to train the early-warning model on")
+		watchDays = flag.Int("watch-days", 45, "days of telemetry to monitor")
+	)
+	flag.Parse()
+
+	// Train on a failure-dense 2016 stretch.
+	trainStart := time.Date(2016, 6, 1, 0, 0, 0, 0, timeutil.Chicago)
+	trainEnd := trainStart.AddDate(0, 0, *trainDays)
+	fmt.Printf("training the early-warning model on %d simulated days...\n", *trainDays)
+	study, err := mira.RunStudy(mira.StudyConfig{Seed: *seed, Start: trainStart, End: trainEnd})
+	if err != nil {
+		log.Fatal(err)
+	}
+	predictor, err := study.TrainPredictor(time.Hour, mira.PredictorConfig{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d pre-CMF and %d quiet windows\n\n", len(study.PositiveWindows()), len(study.NegativeWindows()))
+
+	// Watch a later window live.
+	watchStart := trainEnd
+	watchEnd := watchStart.AddDate(0, 0, *watchDays)
+	fmt.Printf("monitoring %s .. %s...\n\n", watchStart.Format("2006-01-02"), watchEnd.Format("2006-01-02"))
+	w := newWatcher(predictor, timeutil.SampleInterval)
+	s := sim.New(sim.Config{Seed: *seed, Start: trainStart, End: watchEnd})
+	// Replay includes the training period for scheduler continuity; only
+	// report the watch window.
+	w2 := &gate{inner: w, from: watchStart}
+	s.AddRecorder(w2)
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, e := range w.events {
+		fmt.Println(e)
+	}
+	fmt.Printf("\nsummary: %d threshold alarms, %d NN early warnings, %d CMF incidents\n",
+		w.warnings, w.alerts, len(s.Incidents()))
+	fmt.Println("threshold alarms fire when limits are already crossed; the NN flags the")
+	fmt.Println("characteristic telemetry *changes* hours earlier (paper §VI-D).")
+}
+
+// gate forwards recorder callbacks only after a cutoff time.
+type gate struct {
+	sim.NopRecorder
+	inner sim.Recorder
+	from  time.Time
+}
+
+func (g *gate) OnSample(rec sensors.Record) {
+	if !rec.Time.Before(g.from) {
+		g.inner.OnSample(rec)
+	}
+}
+
+func (g *gate) OnTick(t time.Time, p units.Watts, u float64) {
+	if !t.Before(g.from) {
+		g.inner.OnTick(t, p, u)
+	}
+}
+
+func (g *gate) OnIncident(inc sim.Incident) {
+	if !inc.Time.Before(g.from) {
+		g.inner.OnIncident(inc)
+	}
+}

@@ -1,0 +1,104 @@
+// Command mirasim runs the Mira digital twin over a chosen window and
+// exports the coolant-monitor telemetry and RAS failure log.
+//
+// Usage:
+//
+//	mirasim [-seed N] [-start 2014-01-01] [-end 2020-01-01] [-step 300s]
+//	        [-downsample N] [-telemetry out.csv] [-ras out.log]
+//
+// With no output flags, a run summary is printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mira/internal/envdb"
+	"mira/internal/sim"
+	"mira/internal/timeutil"
+	"mira/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mirasim: ")
+
+	var (
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		startStr   = flag.String("start", "2014-01-01", "window start (YYYY-MM-DD)")
+		endStr     = flag.String("end", "2020-01-01", "window end, exclusive (YYYY-MM-DD)")
+		step       = flag.Duration("step", timeutil.SampleInterval, "tick length")
+		downsample = flag.Int("downsample", 12, "keep 1 of every N telemetry samples in the export")
+		telemetry  = flag.String("telemetry", "", "write telemetry CSV to this file")
+		rasOut     = flag.String("ras", "", "write the deduplicated failure log to this file")
+	)
+	flag.Parse()
+
+	start, err := time.ParseInLocation("2006-01-02", *startStr, timeutil.Chicago)
+	if err != nil {
+		log.Fatalf("bad -start: %v", err)
+	}
+	end, err := time.ParseInLocation("2006-01-02", *endStr, timeutil.Chicago)
+	if err != nil {
+		log.Fatalf("bad -end: %v", err)
+	}
+
+	db := envdb.NewDownsampledStore(*downsample)
+	rec := sim.NewEnvDBRecorder(db)
+	s := sim.New(sim.Config{Seed: *seed, Start: start, End: end, Step: *step})
+	s.AddRecorder(rec)
+
+	began := time.Now()
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if rec.Err != nil {
+		log.Fatalf("telemetry recording: %v", rec.Err)
+	}
+	elapsed := time.Since(began)
+
+	cmfs := s.Log().DedupCMF()
+	nonCMF := s.Log().DedupNonCMF()
+	fmt.Printf("simulated %s .. %s at step %v in %v\n", start.Format("2006-01-02"), end.Format("2006-01-02"), *step, elapsed.Round(time.Millisecond))
+	fmt.Printf("telemetry samples stored: %d (1 of every %d)\n", db.Len(), *downsample)
+	fmt.Printf("RAS events logged: %d raw\n", s.Log().Len())
+	fmt.Printf("coolant monitor failures (deduplicated): %d across %d incidents\n", len(cmfs), len(s.Incidents()))
+	fmt.Printf("non-CMF fatal failures (deduplicated): %d\n", len(nonCMF))
+	jobs := s.Scheduler().Stats()
+	fmt.Printf("jobs: started=%d completed=%d killed=%d rejected=%d\n", jobs.Started, jobs.Completed, jobs.Killed, jobs.Rejected)
+	for _, q := range []workload.Queue{workload.ProdShort, workload.ProdLong, workload.ProdCapability} {
+		qs := s.Scheduler().QueueStatsFor(q)
+		fmt.Printf("  %-15s started=%6d  mean wait=%5.1fh  mean walltime=%5.1fh\n",
+			q, qs.Started, qs.MeanWaitHours(), qs.MeanRunHours())
+	}
+
+	if *telemetry != "" {
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.ExportCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry written to %s\n", *telemetry)
+	}
+	if *rasOut != "" {
+		f, err := os.Create(*rasOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range append(cmfs, nonCMF...) {
+			fmt.Fprintln(f, e)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("failure log written to %s\n", *rasOut)
+	}
+}

@@ -1,0 +1,89 @@
+// Anomaly monitoring comparison: replay a failure through classic
+// threshold-based monitoring and the delta-based detector side by side,
+// demonstrating the paper's §VI-D point that "a threshold-based approach is
+// not sufficient for abnormality detection".
+//
+//	go run ./examples/anomalymonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mira"
+	"mira/internal/core"
+	"mira/internal/sensors"
+	"mira/internal/timeutil"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("simulating a failure-dense window...")
+	study, err := mira.RunStudy(mira.StudyConfig{
+		Seed:  11,
+		Start: time.Date(2016, 8, 1, 0, 0, 0, 0, timeutil.Chicago),
+		End:   time.Date(2016, 11, 1, 0, 0, 0, 0, timeutil.Chicago),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pos := study.PositiveWindows()
+	if len(pos) == 0 {
+		log.Fatal("no failures captured; try another seed")
+	}
+	predictor, err := study.TrainPredictor(3*time.Hour, mira.PredictorConfig{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the lead-up to one failure through both detectors.
+	w := pos[0]
+	thresholds := sensors.DefaultThresholds()
+	fmt.Printf("\nlead-up to the CMF on rack %v at %s:\n", w.Rack, w.End.Format("2006-01-02 15:04"))
+	fmt.Println("lead      inlet(F)  flow(GPM)  threshold-monitor   delta-detector")
+
+	var thresholdFirst, deltaFirst time.Duration = -1, -1
+	for _, lead := range []time.Duration{
+		6 * time.Hour, 5 * time.Hour, 4 * time.Hour, 3 * time.Hour,
+		2 * time.Hour, time.Hour, 30 * time.Minute, 0,
+	} {
+		idx := len(w.Records) - 1 - int(lead/study.Step())
+		if idx < 0 {
+			continue
+		}
+		rec := w.Records[idx]
+		alarms := thresholds.Check(rec)
+		thr := "quiet"
+		if len(alarms) > 0 {
+			thr = alarms[0].Severity.String()
+			if thresholdFirst < 0 {
+				thresholdFirst = lead
+			}
+		}
+		nn := "quiet"
+		if f, err := core.DeltaFeatures(w.Records, study.Step(), lead); err == nil {
+			if p := predictor.Probability(f); p >= 0.5 {
+				nn = fmt.Sprintf("ALERT (p=%.2f)", p)
+				if deltaFirst < 0 {
+					deltaFirst = lead
+				}
+			}
+		}
+		fmt.Printf("%-8s  %8.2f  %9.1f  %-18s  %s\n", lead, float64(rec.InletTemp), float64(rec.Flow), thr, nn)
+	}
+
+	fmt.Println()
+	if deltaFirst > thresholdFirst {
+		fmt.Printf("the delta-based detector fired %v before the failure;\n", deltaFirst)
+		if thresholdFirst >= 0 {
+			fmt.Printf("threshold monitoring only reacted %v out — after the metrics were\n", thresholdFirst)
+			fmt.Println("already out of band (paper §VI-D: levels alone are not sufficient).")
+		} else {
+			fmt.Println("threshold monitoring never fired before the final collapse.")
+		}
+	} else {
+		fmt.Println("both detectors fired at similar leads on this incident.")
+	}
+}

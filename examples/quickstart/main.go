@@ -1,0 +1,58 @@
+// Quickstart: simulate one month of Mira, print a telemetry summary and any
+// coolant monitor failures.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mira"
+	"mira/internal/timeutil"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Simulate August 2016 — the thick of the Theta integration, when 40%
+	// of Mira's coolant monitor failures occurred.
+	db := &mira.EnvDB{Downsample: 6}
+	study, err := mira.RunStudy(mira.StudyConfig{
+		Seed:        1,
+		Start:       time.Date(2016, 8, 1, 0, 0, 0, 0, timeutil.Chicago),
+		End:         time.Date(2016, 9, 1, 0, 0, 0, 0, timeutil.Chicago),
+		TelemetryDB: db,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== one simulated month of Mira (August 2016) ==")
+	fmt.Printf("coolant-monitor samples collected: %d\n", db.Len())
+
+	fig3 := study.Fig3CoolantTimeline()
+	fmt.Printf("plant coolant flow: %.0f GPM (post-Theta)\n", fig3.FlowAfterTheta)
+
+	fig6 := study.Fig6RackPowerUtil()
+	fmt.Printf("mean rack power: %.1f kW; hottest rack: %v\n",
+		mean(fig6.PowerKW), fig6.MaxPowerRack)
+	fmt.Printf("mean rack utilization: %.1f%%; busiest rack: %v\n",
+		mean(fig6.UtilPct), fig6.MaxUtilRack)
+
+	incidents := study.Incidents()
+	fmt.Printf("\ncoolant monitor failures this month: %d incidents\n", len(incidents))
+	for _, inc := range incidents {
+		fmt.Printf("  %s  epicenter %v, %d racks down, %d jobs killed\n",
+			inc.Time.Format("2006-01-02 15:04"), inc.Epicenter, len(inc.Racks), inc.JobsKilled)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,182 @@
+// Package analysis reproduces every figure of the paper's evaluation from
+// simulated telemetry: the yearly, monthly, and day-of-week profiles
+// (Figs. 2, 4, 5), the coolant and ambient timelines (Figs. 3, 8), the
+// rack-level spatial maps (Figs. 6, 7, 9), the CMF frequency and location
+// statistics (Figs. 10, 11), the pre-failure lead-up curves (Fig. 12), and
+// the post-CMF failure-rate and type analyses (Figs. 14, 15). The CMF
+// predictor itself (Fig. 13) lives in internal/core.
+//
+// A single streaming Collector gathers every aggregate in one simulation
+// pass with bounded memory.
+package analysis
+
+import (
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/series"
+	"mira/internal/sim"
+	"mira/internal/topology"
+	"mira/internal/units"
+)
+
+// Collector is a sim.Recorder that accumulates every figure's aggregates.
+type Collector struct {
+	sim.NopRecorder
+
+	// System-level profiles.
+	powerByYM  *series.Profile
+	utilByYM   *series.Profile
+	powerByMon *series.Profile
+	utilByMon  *series.Profile
+	powerByDow *series.Profile
+	utilByDow  *series.Profile
+
+	// Per-tick cross-rack aggregates (Fig. 3 plots one system-level line
+	// per metric: the plant flow total and the rack-mean temperatures).
+	flowTotByYM  *series.Profile
+	flowTotOv    series.VarAcc
+	curTick      time.Time
+	curFlowSum   float64
+	curInletSum  float64
+	curOutletSum float64
+	curFlowCount int
+
+	// Cross-rack coolant/ambient profiles.
+	inletByYM   *series.Profile
+	outletByYM  *series.Profile
+	flowByMon   *series.Profile
+	inletByMon  *series.Profile
+	outletByMon *series.Profile
+	flowByDow   *series.Profile
+	inletByDow  *series.Profile
+	outletByDow *series.Profile
+	tempByYM    *series.Profile
+	humByYM     *series.Profile
+
+	// Overall standard deviations (paper Figs. 3, 8 captions).
+	inletOv  series.VarAcc
+	outletOv series.VarAcc
+	tempOv   series.VarAcc
+	humOv    series.VarAcc
+
+	// Per-rack means.
+	rackPower  [topology.NumRacks]series.MeanAcc
+	rackUtil   [topology.NumRacks]series.MeanAcc
+	rackFlow   [topology.NumRacks]series.MeanAcc
+	rackInlet  [topology.NumRacks]series.MeanAcc
+	rackOutlet [topology.NumRacks]series.MeanAcc
+	rackTemp   [topology.NumRacks]series.MeanAcc
+	rackHum    [topology.NumRacks]series.MeanAcc
+
+	// Incidents observed.
+	incidents []sim.Incident
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		powerByYM:   series.NewProfile(series.ByYearMonth),
+		utilByYM:    series.NewProfile(series.ByYearMonth),
+		powerByMon:  series.NewProfile(series.ByMonth),
+		utilByMon:   series.NewProfile(series.ByMonth),
+		powerByDow:  series.NewProfile(series.ByWeekday),
+		utilByDow:   series.NewProfile(series.ByWeekday),
+		flowTotByYM: series.NewProfile(series.ByYearMonth),
+		inletByYM:   series.NewProfile(series.ByYearMonth),
+		outletByYM:  series.NewProfile(series.ByYearMonth),
+		flowByMon:   series.NewProfile(series.ByMonth),
+		inletByMon:  series.NewProfile(series.ByMonth),
+		outletByMon: series.NewProfile(series.ByMonth),
+		flowByDow:   series.NewProfile(series.ByWeekday),
+		inletByDow:  series.NewProfile(series.ByWeekday),
+		outletByDow: series.NewProfile(series.ByWeekday),
+		tempByYM:    series.NewProfile(series.ByYearMonth),
+		humByYM:     series.NewProfile(series.ByYearMonth),
+	}
+}
+
+// OnTick records system power and utilization and flushes the previous
+// tick's plant-flow total (OnTick always precedes the tick's samples).
+func (c *Collector) OnTick(t time.Time, p units.Watts, util float64) {
+	c.flushFlow()
+	c.curTick = t
+	mw := p.Megawatts()
+	c.powerByYM.Add(t, mw)
+	c.powerByMon.Add(t, mw)
+	c.powerByDow.Add(t, mw)
+	pct := util * 100
+	c.utilByYM.Add(t, pct)
+	c.utilByMon.Add(t, pct)
+	c.utilByDow.Add(t, pct)
+}
+
+func (c *Collector) flushFlow() {
+	if c.curFlowCount > 0 {
+		n := float64(c.curFlowCount)
+		c.flowTotByYM.Add(c.curTick, c.curFlowSum)
+		c.flowTotOv.Add(c.curFlowSum)
+		c.inletOv.Add(c.curInletSum / n)
+		c.outletOv.Add(c.curOutletSum / n)
+		c.curFlowSum, c.curInletSum, c.curOutletSum, c.curFlowCount = 0, 0, 0, 0
+	}
+}
+
+// OnSample accumulates the coolant and ambient aggregates.
+func (c *Collector) OnSample(r sensors.Record) {
+	i := r.Rack.Index()
+	flow := float64(r.Flow)
+	inlet := float64(r.InletTemp)
+	outlet := float64(r.OutletTemp)
+	temp := float64(r.DCTemperature)
+	hum := float64(r.DCHumidity)
+
+	c.curFlowSum += flow
+	c.curInletSum += inlet
+	c.curOutletSum += outlet
+	c.curFlowCount++
+
+	c.inletByYM.Add(r.Time, inlet)
+	c.outletByYM.Add(r.Time, outlet)
+	c.flowByMon.Add(r.Time, flow)
+	c.inletByMon.Add(r.Time, inlet)
+	c.outletByMon.Add(r.Time, outlet)
+	c.flowByDow.Add(r.Time, flow)
+	c.inletByDow.Add(r.Time, inlet)
+	c.outletByDow.Add(r.Time, outlet)
+	c.tempByYM.Add(r.Time, temp)
+	c.humByYM.Add(r.Time, hum)
+
+	c.tempOv.Add(temp)
+	c.humOv.Add(hum)
+
+	c.rackPower[i].Add(float64(r.Power))
+	c.rackFlow[i].Add(flow)
+	c.rackInlet[i].Add(inlet)
+	c.rackOutlet[i].Add(outlet)
+	c.rackTemp[i].Add(temp)
+	c.rackHum[i].Add(hum)
+}
+
+// OnRackState accumulates per-rack utilization.
+func (c *Collector) OnRackState(_ time.Time, rack topology.RackID, util float64) {
+	c.rackUtil[rack.Index()].Add(util * 100)
+}
+
+// OnIncident remembers the incident list.
+func (c *Collector) OnIncident(inc sim.Incident) { c.incidents = append(c.incidents, inc) }
+
+// Finalize flushes trailing per-tick accumulations. Call once after the run.
+func (c *Collector) Finalize() { c.flushFlow() }
+
+// Incidents returns the observed CMF incidents.
+func (c *Collector) Incidents() []sim.Incident { return c.incidents }
+
+// rackMeans extracts a per-rack mean vector.
+func rackMeans(accs *[topology.NumRacks]series.MeanAcc) []float64 {
+	out := make([]float64, topology.NumRacks)
+	for i := range accs {
+		out[i] = accs[i].Mean()
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"time"
+
+	"mira/internal/cooling"
+	"mira/internal/stats"
+	"mira/internal/timeutil"
+	"mira/internal/units"
+	"mira/internal/weather"
+)
+
+// Efficiency summarizes the facility's energy picture — the "Efficiency
+// Measures" of the paper's title: monthly PUE, the winter benefit of the
+// waterside economizer, and the cooling energy avoided per year.
+type Efficiency struct {
+	// Month keys 1..12 with the mean PUE of each month.
+	Month []int
+	PUE   []float64
+	// MeanPUE across the year.
+	MeanPUE float64
+	// WinterPUE and SummerPUE are the Dec–Mar and Jun–Sep means; free
+	// cooling makes winter cheaper.
+	WinterPUE, SummerPUE float64
+	// CoolingEnergyKWh is the annual plant energy.
+	CoolingEnergyKWh float64
+	// EconomizerSavingsKWh is the annual energy the economizer displaced.
+	EconomizerSavingsKWh float64
+}
+
+// EfficiencyStudy walks one reference year hour by hour: IT power comes
+// from the collector's monthly profile, plant power from the cooling model
+// against the weather. PUE = (IT + plant) / IT.
+func (c *Collector) EfficiencyStudy(seed int64, year int) Efficiency {
+	wx := weather.New(seed)
+	plant := cooling.NewPlant(wx, seed+1)
+
+	monthIT := make(map[int]float64) // MW by month
+	keys, means := c.powerByMon.Means()
+	for i, k := range keys {
+		monthIT[k] = means[i]
+	}
+
+	var out Efficiency
+	var pueSum [13]float64
+	var pueN [13]int
+	var coolingKWh, chillerOnlyKWh float64
+	start := time.Date(year, 1, 1, 0, 0, 0, 0, timeutil.Chicago)
+	for ts := start; ts.Before(start.AddDate(1, 0, 0)); ts = ts.Add(time.Hour) {
+		m := int(ts.Month())
+		itMW, ok := monthIT[m]
+		if !ok || itMW <= 0 {
+			continue
+		}
+		it := units.MW(itMW)
+		heat := units.Watts(float64(it) * 0.9)
+		plantPower := plant.Power(heat, ts)
+		pue := (float64(it) + float64(plantPower)) / float64(it)
+		pueSum[m] += pue
+		pueN[m]++
+		coolingKWh += plantPower.Kilowatts()
+		chillerOnly := units.Watts(float64(heat)/cooling.ChillerCOP) + cooling.PumpTowerPower
+		chillerOnlyKWh += chillerOnly.Kilowatts()
+	}
+	var winter, summer []float64
+	for m := 1; m <= 12; m++ {
+		if pueN[m] == 0 {
+			continue
+		}
+		pue := pueSum[m] / float64(pueN[m])
+		out.Month = append(out.Month, m)
+		out.PUE = append(out.PUE, pue)
+		switch {
+		case m == 12 || m <= 3:
+			winter = append(winter, pue)
+		case m >= 6 && m <= 9:
+			summer = append(summer, pue)
+		}
+	}
+	out.MeanPUE = stats.Mean(out.PUE)
+	out.WinterPUE = stats.Mean(winter)
+	out.SummerPUE = stats.Mean(summer)
+	out.CoolingEnergyKWh = coolingKWh
+	out.EconomizerSavingsKWh = chillerOnlyKWh - coolingKWh
+	return out
+}

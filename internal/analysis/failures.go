@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"math"
+	"time"
+
+	"mira/internal/ras"
+	"mira/internal/sim"
+	"mira/internal/stats"
+	"mira/internal/topology"
+)
+
+// CMFPerYear is Fig. 10: counted coolant-monitor failures by calendar year.
+type CMFPerYear struct {
+	Years  []int
+	Counts []int
+	Total  int
+	// Share2016 is the fraction of all failures landing in 2016 (paper:
+	// ≈40%).
+	Share2016 float64
+	// QuietGapDays is the longest failure-free stretch (paper: over two
+	// years spanning 2017–2018).
+	QuietGapDays float64
+}
+
+// Fig10CMFPerYear applies the paper's dedup methodology to the RAS log.
+func Fig10CMFPerYear(log *ras.Log) CMFPerYear {
+	events := log.DedupCMF()
+	byYear := ras.CountByYear(events)
+	out := CMFPerYear{Total: len(events)}
+	for y := 2014; y <= 2019; y++ {
+		out.Years = append(out.Years, y)
+		out.Counts = append(out.Counts, byYear[y])
+	}
+	if out.Total > 0 {
+		out.Share2016 = float64(byYear[2016]) / float64(out.Total)
+	}
+	var prev time.Time
+	for _, e := range events {
+		if !prev.IsZero() {
+			if gap := e.Time.Sub(prev).Hours() / 24; gap > out.QuietGapDays {
+				out.QuietGapDays = gap
+			}
+		}
+		prev = e.Time
+	}
+	return out
+}
+
+// CMFPerRack is Fig. 11: counted failures per rack and their correlations
+// with the rack-level utilization, outlet temperature, and humidity fields
+// (paper: −0.21, −0.06, +0.06 — no usable signal).
+type CMFPerRack struct {
+	Counts             [topology.NumRacks]int
+	MaxRack, MinRack   topology.RackID
+	MaxCount, MinCount int
+
+	CorrUtilization float64
+	CorrOutletTemp  float64
+	CorrHumidity    float64
+}
+
+// Fig11CMFPerRack combines the deduped log with the collector's rack means.
+func Fig11CMFPerRack(log *ras.Log, c *Collector) CMFPerRack {
+	events := log.DedupCMF()
+	out := CMFPerRack{Counts: ras.CountByRack(events)}
+	counts := make([]float64, topology.NumRacks)
+	maxI, minI := 0, 0
+	for i, n := range out.Counts {
+		counts[i] = float64(n)
+		if n > out.Counts[maxI] {
+			maxI = i
+		}
+		if n < out.Counts[minI] {
+			minI = i
+		}
+	}
+	out.MaxRack, out.MinRack = topology.RackByIndex(maxI), topology.RackByIndex(minI)
+	out.MaxCount, out.MinCount = out.Counts[maxI], out.Counts[minI]
+	if r, err := stats.Pearson(counts, rackMeans(&c.rackUtil)); err == nil {
+		out.CorrUtilization = r
+	}
+	if r, err := stats.Pearson(counts, rackMeans(&c.rackOutlet)); err == nil {
+		out.CorrOutletTemp = r
+	}
+	if r, err := stats.Pearson(counts, rackMeans(&c.rackHum)); err == nil {
+		out.CorrHumidity = r
+	}
+	return out
+}
+
+// LeadUp is Fig. 12: the mean relative change of the coolant metrics as a
+// CMF approaches, from six hours out to the failure.
+type LeadUp struct {
+	// LeadHours are the lead times (descending, e.g. 6.0 … 0.0).
+	LeadHours []float64
+	// FlowPct, InletPct, OutletPct are mean percent changes relative to the
+	// six-hour-out value.
+	FlowPct   []float64
+	InletPct  []float64
+	OutletPct []float64
+	// Windows is the number of pre-CMF windows averaged.
+	Windows int
+
+	// Headline statistics (paper: inlet −7% then +8% in the last half
+	// hour; outlet −5% around three hours out; flow stable until ≈30 min).
+	InletMaxDipPct   float64
+	InletFinalPct    float64
+	OutletMaxDipPct  float64
+	FlowFinalPct     float64
+	FlowStableUntilH float64
+}
+
+// Fig12LeadUp averages the epicenter pre-CMF windows captured by the
+// incident recorder. step is the simulation tick length.
+func Fig12LeadUp(windows []sim.Window, incidents []sim.Incident, step time.Duration) LeadUp {
+	// Epicenter windows only: cascade racks lack the local flow collapse.
+	epi := make(map[topology.RackID]map[time.Time]bool)
+	for _, inc := range incidents {
+		if epi[inc.Epicenter] == nil {
+			epi[inc.Epicenter] = make(map[time.Time]bool)
+		}
+		epi[inc.Epicenter][inc.Time] = true
+	}
+
+	var out LeadUp
+	var flowSum, inletSum, outletSum []float64
+	for _, w := range windows {
+		if epi[w.Rack] == nil || !epi[w.Rack][w.End] || len(w.Records) < 2 {
+			continue
+		}
+		n := len(w.Records)
+		if flowSum == nil {
+			flowSum = make([]float64, n)
+			inletSum = make([]float64, n)
+			outletSum = make([]float64, n)
+		}
+		if len(flowSum) != n {
+			continue // mixed window lengths; skip stragglers
+		}
+		f0 := float64(w.Records[0].Flow)
+		i0 := float64(w.Records[0].InletTemp)
+		o0 := float64(w.Records[0].OutletTemp)
+		if f0 == 0 || i0 == 0 || o0 == 0 {
+			continue
+		}
+		for k, rec := range w.Records {
+			flowSum[k] += (float64(rec.Flow)/f0 - 1) * 100
+			inletSum[k] += (float64(rec.InletTemp)/i0 - 1) * 100
+			outletSum[k] += (float64(rec.OutletTemp)/o0 - 1) * 100
+		}
+		out.Windows++
+	}
+	if out.Windows == 0 {
+		return out
+	}
+	n := len(flowSum)
+	for k := 0; k < n; k++ {
+		lead := float64(n-1-k) * step.Hours()
+		out.LeadHours = append(out.LeadHours, lead)
+		out.FlowPct = append(out.FlowPct, flowSum[k]/float64(out.Windows))
+		out.InletPct = append(out.InletPct, inletSum[k]/float64(out.Windows))
+		out.OutletPct = append(out.OutletPct, outletSum[k]/float64(out.Windows))
+	}
+	out.InletMaxDipPct = stats.Min(out.InletPct)
+	out.InletFinalPct = out.InletPct[n-1]
+	out.OutletMaxDipPct = stats.Min(out.OutletPct)
+	out.FlowFinalPct = out.FlowPct[n-1]
+	// Flow is "stable" while its mean deviation stays within 2%.
+	out.FlowStableUntilH = out.LeadHours[0]
+	for k := 0; k < n; k++ {
+		if math.Abs(out.FlowPct[k]) > 2 {
+			out.FlowStableUntilH = out.LeadHours[k]
+			break
+		}
+	}
+	return out
+}
+
+// PostCMF is Fig. 14: the rate of (deduplicated) non-CMF failures in
+// windows after a CMF and the type distribution.
+type PostCMF struct {
+	// WindowHours are the cumulative windows (3, 6, 12, 24, 48).
+	WindowHours []float64
+	// RatePerHour is the mean count per hour within each window, averaged
+	// over CMF incidents.
+	RatePerHour []float64
+	// Rate6vs3 and Rate48vs3 are the headline ratios (paper: <0.75, ≈0.10).
+	Rate6vs3  float64
+	Rate48vs3 float64
+	// TypeFraction is the mix of post-CMF failure types (paper: AC-to-DC
+	// ≈50%, process <2%).
+	TypeFraction map[ras.EventType]float64
+	// Incidents is the number of CMFs analyzed.
+	Incidents int
+}
+
+// Fig14PostCMF measures post-CMF failure rates from the RAS log.
+func Fig14PostCMF(log *ras.Log) PostCMF {
+	cmfs := log.DedupCMF()
+	nonCMF := log.DedupNonCMF()
+	out := PostCMF{
+		WindowHours:  []float64{3, 6, 12, 24, 48},
+		TypeFraction: make(map[ras.EventType]float64),
+	}
+	// Collapse per-rack CMF counts into incidents: CMFs within six hours of
+	// each other (the storm) share the same follow-on failures, so measure
+	// from the first rack's timestamp.
+	var incidentTimes []time.Time
+	for _, e := range cmfs {
+		if len(incidentTimes) == 0 || e.Time.Sub(incidentTimes[len(incidentTimes)-1]) > ras.CMFWindow {
+			incidentTimes = append(incidentTimes, e.Time)
+		}
+	}
+	out.Incidents = len(incidentTimes)
+	if out.Incidents == 0 {
+		return out
+	}
+	counts := make([]float64, len(out.WindowHours))
+	typeCounts := make(map[ras.EventType]int)
+	totalTyped := 0
+	for _, t0 := range incidentTimes {
+		for _, e := range nonCMF {
+			tau := e.Time.Sub(t0).Hours()
+			if tau < 0 {
+				continue
+			}
+			for wi, w := range out.WindowHours {
+				if tau <= w {
+					counts[wi]++
+				}
+			}
+			if tau <= 48 {
+				typeCounts[e.Type]++
+				totalTyped++
+			}
+		}
+	}
+	out.RatePerHour = make([]float64, len(out.WindowHours))
+	for i, w := range out.WindowHours {
+		out.RatePerHour[i] = counts[i] / float64(out.Incidents) / w
+	}
+	if out.RatePerHour[0] > 0 {
+		out.Rate6vs3 = out.RatePerHour[1] / out.RatePerHour[0]
+		out.Rate48vs3 = out.RatePerHour[4] / out.RatePerHour[0]
+	}
+	for tp, n := range typeCounts {
+		out.TypeFraction[tp] = float64(n) / float64(totalTyped)
+	}
+	return out
+}
+
+// PostCMFSpatial is Fig. 15: where follow-on failures land relative to the
+// CMF epicenter. The paper's point: anywhere — there is no spatial
+// affinity.
+type PostCMFSpatial struct {
+	// MeanDistance is the mean Manhattan rack-grid distance between each
+	// epicenter and its follow-on failures within 48 h.
+	MeanDistance float64
+	// RandomExpectedDistance is the analytic mean distance to a uniformly
+	// random rack, for comparison.
+	RandomExpectedDistance float64
+	// SameRackFraction is how many follow-ons hit the epicenter itself.
+	SameRackFraction float64
+	// Pairs is the number of (CMF, follow-on) pairs measured.
+	Pairs int
+	// Examples maps the first up-to-3 incidents to their follow-on racks.
+	Examples []SpatialExample
+}
+
+// SpatialExample is one Fig. 15 panel: an epicenter and its follow-ons.
+type SpatialExample struct {
+	Epicenter topology.RackID
+	FollowOns []topology.RackID
+}
+
+// Fig15PostCMFSpatial measures follow-on locations.
+func Fig15PostCMFSpatial(log *ras.Log, incidents []sim.Incident) PostCMFSpatial {
+	nonCMF := log.DedupNonCMF()
+	var out PostCMFSpatial
+	var distSum float64
+	same := 0
+	for _, inc := range incidents {
+		var follows []topology.RackID
+		for _, e := range nonCMF {
+			tau := e.Time.Sub(inc.Time).Hours()
+			if tau < 0 || tau > 48 {
+				continue
+			}
+			follows = append(follows, e.Rack)
+			distSum += manhattan(inc.Epicenter, e.Rack)
+			if e.Rack == inc.Epicenter {
+				same++
+			}
+			out.Pairs++
+		}
+		if len(out.Examples) < 3 && len(follows) >= 2 {
+			out.Examples = append(out.Examples, SpatialExample{Epicenter: inc.Epicenter, FollowOns: follows})
+		}
+	}
+	if out.Pairs > 0 {
+		out.MeanDistance = distSum / float64(out.Pairs)
+		out.SameRackFraction = float64(same) / float64(out.Pairs)
+	}
+	out.RandomExpectedDistance = randomMeanDistance()
+	return out
+}
+
+func manhattan(a, b topology.RackID) float64 {
+	return math.Abs(float64(a.Row-b.Row)) + math.Abs(float64(a.Col-b.Col))
+}
+
+// randomMeanDistance is the expected Manhattan distance from a uniformly
+// random rack to another uniformly random rack on the 3×16 grid.
+func randomMeanDistance() float64 {
+	var sum float64
+	n := 0
+	for _, a := range topology.AllRacks() {
+		for _, b := range topology.AllRacks() {
+			sum += manhattan(a, b)
+			n++
+		}
+	}
+	return sum / float64(n)
+}

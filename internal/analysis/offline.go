@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"mira/internal/envdb"
+	"mira/internal/sensors"
+	"mira/internal/units"
+)
+
+// CollectFromStore replays an environmental database (e.g. telemetry
+// re-imported from a mirasim CSV export) through a Collector, enabling
+// offline analysis of exported traces. System power is reconstructed as the
+// sum of rack powers per tick; utilization is unavailable offline, so the
+// utilization-dependent panels of Figs. 2, 4–6 read NaN while every
+// coolant/ambient figure (3, 7, 8, 9) is fully usable.
+func CollectFromStore(db *envdb.Store) *Collector {
+	c := NewCollector()
+	// Records are stored rack-major; group them into ticks by timestamp.
+	byTick := make(map[time.Time][]sensors.Record)
+	var order []time.Time
+	db.EachRecord(func(r sensors.Record) {
+		if _, ok := byTick[r.Time]; !ok {
+			order = append(order, r.Time)
+		}
+		byTick[r.Time] = append(byTick[r.Time], r)
+	})
+	sortTimes(order)
+	for _, ts := range order {
+		recs := byTick[ts]
+		var totalPower units.Watts
+		for _, r := range recs {
+			totalPower += r.Power
+		}
+		c.OnTick(ts, totalPower, nanUtil)
+		for _, r := range recs {
+			c.OnSample(r)
+		}
+	}
+	c.Finalize()
+	return c
+}
+
+// nanUtil marks utilization as unknown in offline mode.
+var nanUtil = func() float64 {
+	var zero float64
+	return zero / zero // NaN
+}()
+
+func sortTimes(ts []time.Time) {
+	sort.Slice(ts, func(a, b int) bool { return ts[a].Before(ts[b]) })
+}

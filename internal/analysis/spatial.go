@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"mira/internal/stats"
+	"mira/internal/topology"
+)
+
+// RackPowerUtil is Fig. 6: per-rack mean power and utilization, their
+// spread, the extremal racks, and the power-utilization correlation (paper:
+// ≈0.45; highest power at (0,D), highest utilization at (0,A), row 0
+// leading both).
+type RackPowerUtil struct {
+	PowerKW        []float64 // indexed by rack dense index
+	UtilPct        []float64
+	PowerSpreadPct float64
+	UtilSpreadPct  float64
+	Correlation    float64
+	MaxPowerRack   topology.RackID
+	MaxUtilRack    topology.RackID
+	// RowPowerKW and RowUtilPct are the row-level means.
+	RowPowerKW [topology.Rows]float64
+	RowUtilPct [topology.Rows]float64
+}
+
+// Fig6RackPowerUtil computes the Fig. 6 panels.
+func (c *Collector) Fig6RackPowerUtil() RackPowerUtil {
+	power := rackMeans(&c.rackPower)
+	for i := range power {
+		power[i] /= 1000 // W → kW
+	}
+	util := rackMeans(&c.rackUtil)
+	out := RackPowerUtil{
+		PowerKW:        power,
+		UtilPct:        util,
+		PowerSpreadPct: stats.SpreadPercent(power),
+		UtilSpreadPct:  stats.SpreadPercent(util),
+	}
+	if r, err := stats.Pearson(power, util); err == nil {
+		out.Correlation = r
+	}
+	out.MaxPowerRack = argmaxRack(power)
+	out.MaxUtilRack = argmaxRack(util)
+	for row := 0; row < topology.Rows; row++ {
+		var p, u float64
+		for _, rk := range topology.RowRacks(row) {
+			p += power[rk.Index()]
+			u += util[rk.Index()]
+		}
+		out.RowPowerKW[row] = p / topology.ColsPerRow
+		out.RowUtilPct[row] = u / topology.ColsPerRow
+	}
+	return out
+}
+
+// RackCoolant is Fig. 7: per-rack coolant flow, inlet, and outlet with
+// their spreads (paper: ≤11% flow, ≈1% inlet, ≤3% outlet).
+type RackCoolant struct {
+	FlowGPM []float64
+	InletF  []float64
+	OutletF []float64
+
+	FlowSpreadPct   float64
+	InletSpreadPct  float64
+	OutletSpreadPct float64
+}
+
+// Fig7RackCoolant computes the Fig. 7 panels.
+func (c *Collector) Fig7RackCoolant() RackCoolant {
+	flow := rackMeans(&c.rackFlow)
+	inlet := rackMeans(&c.rackInlet)
+	outlet := rackMeans(&c.rackOutlet)
+	return RackCoolant{
+		FlowGPM: flow, InletF: inlet, OutletF: outlet,
+		FlowSpreadPct:   stats.SpreadPercent(flow),
+		InletSpreadPct:  stats.SpreadPercent(inlet),
+		OutletSpreadPct: stats.SpreadPercent(outlet),
+	}
+}
+
+// RackAmbient is Fig. 9: per-rack ambient temperature and humidity with
+// spreads (paper: ≤11% temperature, ≤36% humidity) and the hotspot/row-end
+// structure.
+type RackAmbient struct {
+	TempF      []float64
+	HumidityRH []float64
+
+	TempSpreadPct float64
+	HumSpreadPct  float64
+	// MaxHumidityRack should be the (1,8) hotspot.
+	MaxHumidityRack topology.RackID
+	// RowEndTempExcess is the mean temperature of the outer three racks of
+	// each row minus the inner racks (positive: ends run warmer).
+	RowEndTempExcess float64
+	// RowEndHumidityDeficit is inner minus outer humidity (positive: ends
+	// run drier).
+	RowEndHumidityDeficit float64
+}
+
+// Fig9RackAmbient computes the Fig. 9 panels.
+func (c *Collector) Fig9RackAmbient() RackAmbient {
+	temp := rackMeans(&c.rackTemp)
+	hum := rackMeans(&c.rackHum)
+	out := RackAmbient{
+		TempF: temp, HumidityRH: hum,
+		TempSpreadPct:   stats.SpreadPercent(temp),
+		HumSpreadPct:    stats.SpreadPercent(hum),
+		MaxHumidityRack: argmaxRack(hum),
+	}
+	var endT, endH, inT, inH []float64
+	for _, r := range topology.AllRacks() {
+		if r.DistanceFromRowEnd() < 3 {
+			endT = append(endT, temp[r.Index()])
+			endH = append(endH, hum[r.Index()])
+		} else {
+			inT = append(inT, temp[r.Index()])
+			inH = append(inH, hum[r.Index()])
+		}
+	}
+	out.RowEndTempExcess = stats.Mean(endT) - stats.Mean(inT)
+	out.RowEndHumidityDeficit = stats.Mean(inH) - stats.Mean(endH)
+	return out
+}
+
+func argmaxRack(vals []float64) topology.RackID {
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	return topology.RackByIndex(best)
+}

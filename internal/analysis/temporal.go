@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"time"
+
+	"mira/internal/stats"
+)
+
+// YearlyTrend is Fig. 2: the monthly power/utilization timeline over the six
+// years with the linear ("red line") fits.
+type YearlyTrend struct {
+	// YearMonth keys (year*100+month) and the corresponding monthly means.
+	YearMonth   []int
+	PowerMW     []float64
+	Utilization []float64
+	// PowerFit and UtilFit are OLS fits against fractional years.
+	PowerFit stats.LinearFit
+	UtilFit  stats.LinearFit
+	// Start/End of the fitted lines, evaluated at the first/last month.
+	PowerStartMW, PowerEndMW float64
+	UtilStartPct, UtilEndPct float64
+}
+
+// ymToYears converts a year*100+month key to fractional years.
+func ymToYears(ym int) float64 {
+	return float64(ym/100) + (float64(ym%100)-0.5)/12
+}
+
+// Fig2YearlyTrend computes the Fig. 2 series and fits.
+func (c *Collector) Fig2YearlyTrend() YearlyTrend {
+	keys, power := c.powerByYM.Means()
+	_, util := c.utilByYM.Means()
+	years := make([]float64, len(keys))
+	for i, k := range keys {
+		years[i] = ymToYears(k)
+	}
+	out := YearlyTrend{YearMonth: keys, PowerMW: power, Utilization: util}
+	if fit, err := stats.FitLine(years, power); err == nil {
+		out.PowerFit = fit
+		out.PowerStartMW = fit.At(years[0])
+		out.PowerEndMW = fit.At(years[len(years)-1])
+	}
+	if fit, err := stats.FitLine(years, util); err == nil {
+		out.UtilFit = fit
+		out.UtilStartPct = fit.At(years[0])
+		out.UtilEndPct = fit.At(years[len(years)-1])
+	}
+	return out
+}
+
+// CoolantTimeline is Fig. 3: monthly plant flow, inlet, and outlet series
+// with the overall standard deviations the caption reports (41 GPM, 0.61°F,
+// 0.71°F).
+type CoolantTimeline struct {
+	YearMonth []int
+	FlowGPM   []float64
+	InletF    []float64
+	OutletF   []float64
+
+	FlowStd, InletStd, OutletStd float64
+	// FlowBeforeTheta and FlowAfterTheta are the mean plant flows on either
+	// side of the July 2016 cutover.
+	FlowBeforeTheta, FlowAfterTheta float64
+}
+
+// Fig3CoolantTimeline computes the Fig. 3 series.
+func (c *Collector) Fig3CoolantTimeline() CoolantTimeline {
+	keys, flow := c.flowTotByYM.Means()
+	_, inlet := c.inletByYM.Means()
+	_, outlet := c.outletByYM.Means()
+	out := CoolantTimeline{
+		YearMonth: keys, FlowGPM: flow, InletF: inlet, OutletF: outlet,
+		FlowStd:   c.flowTotOv.StdDev(),
+		InletStd:  c.inletOv.StdDev(),
+		OutletStd: c.outletOv.StdDev(),
+	}
+	var before, after stats.Summary
+	var bvals, avals []float64
+	for i, k := range keys {
+		if k < 201607 {
+			bvals = append(bvals, flow[i])
+		} else {
+			avals = append(avals, flow[i])
+		}
+	}
+	before = stats.Summarize(bvals)
+	after = stats.Summarize(avals)
+	out.FlowBeforeTheta = before.Mean
+	out.FlowAfterTheta = after.Mean
+	return out
+}
+
+// MonthlyProfile is Fig. 4: medians by month of year.
+type MonthlyProfile struct {
+	Month       []int
+	PowerMW     []float64
+	Utilization []float64
+	FlowGPM     []float64
+	InletF      []float64
+	OutletF     []float64
+	// SecondHalfPowerGain is the H2/H1 median power ratio − 1.
+	SecondHalfPowerGain float64
+	// SecondHalfUtilGain is the H2/H1 median utilization ratio − 1.
+	SecondHalfUtilGain float64
+	// WinterInletExcess is the Dec–Mar minus Apr–Nov mean inlet (°F); the
+	// economizer makes it positive.
+	WinterInletExcess float64
+	// MaxCoolantChangePct is the largest |month − January| percent change
+	// across flow/inlet/outlet (paper: < 1.5%).
+	MaxCoolantChangePct float64
+}
+
+// Fig4MonthlyProfile computes the Fig. 4 panels. The table reports monthly
+// medians (as the paper plots); the half-year gains are computed from the
+// monthly means, which stay sensitive even when the machine saturates.
+func (c *Collector) Fig4MonthlyProfile() MonthlyProfile {
+	months, power := c.powerByMon.Medians()
+	_, util := c.utilByMon.Medians()
+	_, powerMean := c.powerByMon.Means()
+	_, utilMean := c.utilByMon.Means()
+	_, flow := c.flowByMon.Means()
+	_, inlet := c.inletByMon.Means()
+	_, outlet := c.outletByMon.Means()
+	out := MonthlyProfile{
+		Month: months, PowerMW: power, Utilization: util,
+		FlowGPM: flow, InletF: inlet, OutletF: outlet,
+	}
+	meanOf := func(vals []float64, pick func(m int) bool) float64 {
+		var sel []float64
+		for i, m := range months {
+			if pick(m) {
+				sel = append(sel, vals[i])
+			}
+		}
+		return stats.Mean(sel)
+	}
+	h1 := func(m int) bool { return m <= 6 }
+	h2 := func(m int) bool { return m > 6 }
+	out.SecondHalfPowerGain = meanOf(powerMean, h2)/meanOf(powerMean, h1) - 1
+	out.SecondHalfUtilGain = meanOf(utilMean, h2)/meanOf(utilMean, h1) - 1
+	winter := func(m int) bool { return m == 12 || m <= 3 }
+	rest := func(m int) bool { return m > 3 && m < 12 }
+	out.WinterInletExcess = meanOf(inlet, winter) - meanOf(inlet, rest)
+
+	var maxChange float64
+	for _, vals := range [][]float64{flow, inlet, outlet} {
+		jan := vals[0]
+		for _, v := range vals {
+			if ch := stats.PercentChange(jan, v); ch > maxChange {
+				maxChange = ch
+			} else if -ch > maxChange {
+				maxChange = -ch
+			}
+		}
+	}
+	out.MaxCoolantChangePct = maxChange
+	return out
+}
+
+// WeekdayProfile is Fig. 5: day-of-week means and the Monday-effect
+// statistics.
+type WeekdayProfile struct {
+	// Weekday keys 0=Sunday..6=Saturday.
+	Weekday     []int
+	PowerMW     []float64
+	Utilization []float64
+	FlowGPM     []float64
+	InletF      []float64
+	OutletF     []float64
+	// NonMondayPowerGainPct: power on non-Mondays vs Monday (paper ≈6%).
+	NonMondayPowerGainPct float64
+	// NonMondayUtilGainPct: utilization gain (paper ≈1.5%).
+	NonMondayUtilGainPct float64
+	// NonMondayOutletGainPct: outlet temperature gain (paper ≈2%).
+	NonMondayOutletGainPct float64
+	// NonMondayInletGainPct and NonMondayFlowGainPct should be ≈0.
+	NonMondayInletGainPct float64
+	NonMondayFlowGainPct  float64
+}
+
+// Fig5WeekdayProfile computes the Fig. 5 panels.
+func (c *Collector) Fig5WeekdayProfile() WeekdayProfile {
+	days, power := c.powerByDow.Means()
+	_, util := c.utilByDow.Means()
+	_, flow := c.flowByDow.Means()
+	_, inlet := c.inletByDow.Means()
+	_, outlet := c.outletByDow.Means()
+	out := WeekdayProfile{
+		Weekday: days, PowerMW: power, Utilization: util,
+		FlowGPM: flow, InletF: inlet, OutletF: outlet,
+	}
+	gain := func(vals []float64) float64 {
+		var monday, others float64
+		var n int
+		for i, d := range days {
+			if time.Weekday(d) == time.Monday {
+				monday = vals[i]
+			} else {
+				others += vals[i]
+				n++
+			}
+		}
+		if n == 0 || monday == 0 {
+			return 0
+		}
+		return (others/float64(n)/monday - 1) * 100
+	}
+	out.NonMondayPowerGainPct = gain(power)
+	out.NonMondayUtilGainPct = gain(util)
+	out.NonMondayOutletGainPct = gain(outlet)
+	out.NonMondayInletGainPct = gain(inlet)
+	out.NonMondayFlowGainPct = gain(flow)
+	return out
+}
+
+// AmbientTimeline is Fig. 8: the monthly data-center temperature and
+// humidity with the overall standard deviations (2.48°F, 3.66 RH).
+type AmbientTimeline struct {
+	YearMonth  []int
+	TempF      []float64
+	HumidityRH []float64
+
+	TempStd, HumStd  float64
+	TempMin, TempMax float64
+	HumMin, HumMax   float64
+	// SummerHumidityExcess is mean summer-month humidity minus winter.
+	SummerHumidityExcess float64
+}
+
+// Fig8AmbientTimeline computes the Fig. 8 series.
+func (c *Collector) Fig8AmbientTimeline() AmbientTimeline {
+	keys, temp := c.tempByYM.Means()
+	_, hum := c.humByYM.Means()
+	out := AmbientTimeline{
+		YearMonth: keys, TempF: temp, HumidityRH: hum,
+		TempStd: c.tempOv.StdDev(), HumStd: c.humOv.StdDev(),
+		TempMin: stats.Min(temp), TempMax: stats.Max(temp),
+		HumMin: stats.Min(hum), HumMax: stats.Max(hum),
+	}
+	var summer, winter []float64
+	for i, k := range keys {
+		switch m := k % 100; {
+		case m >= 6 && m <= 8:
+			summer = append(summer, hum[i])
+		case m == 12 || m <= 2:
+			winter = append(winter, hum[i])
+		}
+	}
+	out.SummerHumidityExcess = stats.Mean(summer) - stats.Mean(winter)
+	return out
+}

@@ -1,0 +1,175 @@
+package bayesopt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntGrid(t *testing.T) {
+	g := IntGrid([]int{1, 2}, []int{10, 20, 30})
+	if len(g) != 6 {
+		t.Fatalf("grid size = %d, want 6", len(g))
+	}
+	if g[0][0] != 1 || g[0][1] != 10 {
+		t.Errorf("g[0] = %v", g[0])
+	}
+	if g[5][0] != 2 || g[5][1] != 30 {
+		t.Errorf("g[5] = %v", g[5])
+	}
+	if IntGrid() != nil {
+		t.Error("no axes should give nil")
+	}
+	if IntGrid([]int{}) != nil {
+		t.Error("empty axis should give nil")
+	}
+}
+
+func TestMinimizeFindsQuadraticMinimum(t *testing.T) {
+	// f(x,y) = (x-12)² + (y-6)², minimum at (12, 6).
+	grid := IntGrid([]int{2, 4, 6, 8, 10, 12, 14, 16}, []int{2, 4, 6, 8, 10})
+	calls := 0
+	f := func(x []float64) float64 {
+		calls++
+		return (x[0]-12)*(x[0]-12) + (x[1]-6)*(x[1]-6)
+	}
+	res, err := Minimize(f, Config{Candidates: grid, InitSamples: 4, Iterations: 12, LengthScale: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost > 4.1 {
+		t.Errorf("BestCost = %v at %v, want near-optimal (<= 4.1)", res.BestCost, res.Best)
+	}
+	if calls != len(res.Evaluated) || calls != len(res.Costs) {
+		t.Errorf("bookkeeping mismatch: calls=%d evaluated=%d costs=%d", calls, len(res.Evaluated), len(res.Costs))
+	}
+	if calls > 16 {
+		t.Errorf("evaluated %d points, budget is 16", calls)
+	}
+	// BO should not need the whole 40-point grid.
+	if calls >= len(grid) {
+		t.Errorf("BO evaluated the entire grid (%d points)", calls)
+	}
+}
+
+func TestMinimizeBeatsBudgetedScanOnAverage(t *testing.T) {
+	// With a smooth objective and a limited budget, GP-guided search should
+	// find a better point than the same number of arbitrary-order probes.
+	grid := IntGrid([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f := func(x []float64) float64 { return math.Abs(x[0] - 13) }
+	res, err := Minimize(f, Config{Candidates: grid, InitSamples: 2, Iterations: 5, LengthScale: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget of 7 of 16 candidates; GP should close in on 13.
+	if res.BestCost > 1 {
+		t.Errorf("BestCost = %v (best=%v), want <= 1", res.BestCost, res.Best)
+	}
+}
+
+func TestMinimizeExhaustsSmallGrid(t *testing.T) {
+	grid := IntGrid([]int{1, 2, 3})
+	res, err := Minimize(func(x []float64) float64 { return -x[0] }, Config{Candidates: grid, InitSamples: 2, Iterations: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluated) != 3 {
+		t.Errorf("evaluated %d, want all 3", len(res.Evaluated))
+	}
+	if res.Best[0] != 3 {
+		t.Errorf("Best = %v, want [3]", res.Best)
+	}
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	if _, err := Minimize(func([]float64) float64 { return 0 }, Config{}); err != ErrNoCandidates {
+		t.Errorf("want ErrNoCandidates, got %v", err)
+	}
+	bad := [][]float64{{1, 2}, {3}}
+	if _, err := Minimize(func([]float64) float64 { return 0 }, Config{Candidates: bad}); err == nil {
+		t.Error("ragged candidates should error")
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	grid := IntGrid([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	f := func(x []float64) float64 { return (x[0] - 5) * (x[0] - 5) }
+	run := func() []float64 {
+		res, err := Minimize(f, Config{Candidates: grid, InitSamples: 2, Iterations: 4, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Costs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic evaluation count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic costs")
+		}
+	}
+}
+
+func TestGPInterpolatesObservations(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 3, 2, 4}
+	g, err := fitGP(X, y, 1, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		mu, sigma := g.predict(x)
+		if math.Abs(mu-y[i]) > 0.01 {
+			t.Errorf("GP mean at observed %v = %v, want %v", x, mu, y[i])
+		}
+		if sigma > 0.01 {
+			t.Errorf("GP sigma at observed point = %v, want ≈0", sigma)
+		}
+	}
+	// Far from data, the posterior reverts toward the mean with high sigma.
+	mu, sigma := g.predict([]float64{100})
+	if math.Abs(mu-3.5) > 0.01 {
+		t.Errorf("far-field mean = %v, want prior mean 3.5", mu)
+	}
+	if sigma < 0.9 {
+		t.Errorf("far-field sigma = %v, want ≈1", sigma)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// A point certainly better than best has EI = best - mu.
+	if ei := expectedImprovement(1, 0, 3); ei != 2 {
+		t.Errorf("certain-improvement EI = %v, want 2", ei)
+	}
+	// A point certainly worse has EI = 0.
+	if ei := expectedImprovement(5, 0, 3); ei != 0 {
+		t.Errorf("certain-worse EI = %v, want 0", ei)
+	}
+	// Uncertainty adds value: same mean, more sigma → more EI.
+	low := expectedImprovement(3, 0.1, 3)
+	high := expectedImprovement(3, 1.0, 3)
+	if high <= low {
+		t.Errorf("EI should grow with sigma: %v vs %v", low, high)
+	}
+	// EI is non-negative.
+	for _, mu := range []float64{-2, 0, 2, 5} {
+		for _, s := range []float64{0, 0.5, 2} {
+			if ei := expectedImprovement(mu, s, 1); ei < 0 {
+				t.Errorf("EI(%v,%v) = %v < 0", mu, s, ei)
+			}
+		}
+	}
+}
+
+func TestNormFunctions(t *testing.T) {
+	if math.Abs(normCDF(0)-0.5) > 1e-12 {
+		t.Error("normCDF(0) != 0.5")
+	}
+	if math.Abs(normCDF(1.96)-0.975) > 1e-3 {
+		t.Errorf("normCDF(1.96) = %v", normCDF(1.96))
+	}
+	if math.Abs(normPDF(0)-0.39894) > 1e-4 {
+		t.Errorf("normPDF(0) = %v", normPDF(0))
+	}
+}

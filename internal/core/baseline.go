@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"mira/internal/nn"
+	"mira/internal/stats"
+)
+
+// ThresholdBaseline is the paper's §VI-D strawman: classic data-center
+// monitoring that alarms when metric *levels* cross static thresholds. It
+// predicts a CMF when any feature deviates from the training-set mean by
+// more than Sigmas standard deviations.
+type ThresholdBaseline struct {
+	Mean, Std []float64
+	// Sigmas is the alarm distance (default 2).
+	Sigmas float64
+}
+
+// FitThresholdBaseline learns per-feature means/stds from the negative
+// (healthy) examples.
+func FitThresholdBaseline(ds Dataset, sigmas float64) (*ThresholdBaseline, error) {
+	if sigmas <= 0 {
+		sigmas = 2
+	}
+	var healthy [][]float64
+	for i, x := range ds.X {
+		if ds.Y[i] == 0 {
+			healthy = append(healthy, x)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil, errors.New("core: threshold baseline needs healthy examples")
+	}
+	s := nn.FitScaler(healthy)
+	return &ThresholdBaseline{Mean: s.Mean, Std: s.Std, Sigmas: sigmas}, nil
+}
+
+// Predict alarms when any feature is out of band.
+func (b *ThresholdBaseline) Predict(features []float64) bool {
+	for j, v := range features {
+		if math.Abs(v-b.Mean[j]) > b.Sigmas*b.Std[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate scores the baseline.
+func (b *ThresholdBaseline) Evaluate(ds Dataset) stats.Confusion {
+	var c stats.Confusion
+	for i, x := range ds.X {
+		c.Observe(b.Predict(x), ds.Y[i] == 1)
+	}
+	return c
+}
+
+// LogisticBaseline wraps logistic regression over the same features, the
+// simplest learned comparator to the paper's neural network.
+type LogisticBaseline struct {
+	model  *nn.Logistic
+	scaler *nn.Scaler
+	thresh float64
+}
+
+// TrainLogisticBaseline fits the baseline.
+func TrainLogisticBaseline(ds Dataset, cfg Config) (*LogisticBaseline, error) {
+	cfg = cfg.withDefaults()
+	if ds.Len() == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	scaler := nn.FitScaler(ds.X)
+	X := scaler.TransformAll(ds.X)
+	m := nn.NewLogistic(len(ds.X[0]))
+	if _, err := m.Fit(X, ds.Y, nn.TrainConfig{Epochs: cfg.Epochs, LearningRate: 0.3, Seed: cfg.Seed}); err != nil {
+		return nil, err
+	}
+	return &LogisticBaseline{model: m, scaler: scaler, thresh: cfg.Threshold}, nil
+}
+
+// Predict returns the thresholded decision.
+func (b *LogisticBaseline) Predict(features []float64) bool {
+	return b.model.PredictClass(b.scaler.Transform(features), b.thresh)
+}
+
+// Evaluate scores the baseline.
+func (b *LogisticBaseline) Evaluate(ds Dataset) stats.Confusion {
+	var c stats.Confusion
+	for i, x := range ds.X {
+		c.Observe(b.Predict(x), ds.Y[i] == 1)
+	}
+	return c
+}

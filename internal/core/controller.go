@@ -1,0 +1,92 @@
+package core
+
+import (
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/sim"
+	"mira/internal/topology"
+)
+
+// Avoider is the scheduler surface the controller drives: flag a rack so no
+// new work lands on it until the deadline (scheduler.Scheduler satisfies
+// this).
+type Avoider interface {
+	Avoid(r topology.RackID, until time.Time)
+}
+
+// AvoidController is an online CMF-aware scheduling controller — the
+// paper's closing opportunity ("this work can motivate researchers to
+// develop CMF-aware job schedulers and resource management strategies").
+// Attached to a simulation as a recorder, it watches every rack's trailing
+// telemetry through the trained predictor and, on a sustained alert, tells
+// the scheduler to stop placing new jobs on the endangered rack so its work
+// drains before the failure.
+type AvoidController struct {
+	sim.NopRecorder
+
+	predictor *Predictor
+	sched     Avoider
+	step      time.Duration
+	threshold float64
+	sustain   int
+	avoidFor  time.Duration
+
+	rings   [topology.NumRacks][]sensors.Record
+	ringPos [topology.NumRacks]int
+	full    [topology.NumRacks]bool
+	consec  [topology.NumRacks]int
+
+	// AlertsRaised counts the sustained alerts acted on.
+	AlertsRaised int
+}
+
+// NewAvoidController wires a trained predictor to a scheduler. threshold
+// defaults to 0.9, sustain to 2 consecutive samples, avoidFor to 6 h.
+func NewAvoidController(p *Predictor, sched Avoider, step time.Duration) *AvoidController {
+	c := &AvoidController{
+		predictor: p,
+		sched:     sched,
+		step:      step,
+		threshold: 0.9,
+		sustain:   2,
+		avoidFor:  6 * time.Hour,
+	}
+	ringLen := int(FeatureSpan/step) + 1
+	for i := range c.rings {
+		c.rings[i] = make([]sensors.Record, ringLen)
+	}
+	return c
+}
+
+// OnSample scores the rack's trailing window and flags the scheduler on a
+// sustained alert.
+func (c *AvoidController) OnSample(rec sensors.Record) {
+	i := rec.Rack.Index()
+	ringLen := len(c.rings[i])
+	c.rings[i][c.ringPos[i]] = rec
+	c.ringPos[i] = (c.ringPos[i] + 1) % ringLen
+	if c.ringPos[i] == 0 {
+		c.full[i] = true
+	}
+	if !c.full[i] {
+		return
+	}
+	ordered := make([]sensors.Record, 0, ringLen)
+	ordered = append(ordered, c.rings[i][c.ringPos[i]:]...)
+	ordered = append(ordered, c.rings[i][:c.ringPos[i]]...)
+	f, err := DeltaFeatures(ordered, c.step, 0)
+	if err != nil {
+		c.consec[i] = 0
+		return
+	}
+	if c.predictor.Probability(f) >= c.threshold {
+		c.consec[i]++
+	} else {
+		c.consec[i] = 0
+	}
+	if c.consec[i] == c.sustain {
+		c.sched.Avoid(rec.Rack, rec.Time.Add(c.avoidFor))
+		c.AlertsRaised++
+	}
+}

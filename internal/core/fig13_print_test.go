@@ -1,0 +1,26 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPrintFig13 logs the Fig. 13 series for inspection (verbose mode only).
+func TestPrintFig13(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	pos, neg := simWindows(t)
+	points, err := LeadTimeSweep(pos, neg, simStep, DefaultLeads(), Config{Seed: 9}, DeltaFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		c := pt.Confusion
+		fmt.Printf("lead %4s: acc=%.3f prec=%.3f rec=%.3f f1=%.3f fpr=%.3f\n",
+			shortDur(pt.Lead), c.Accuracy(), c.Precision(), c.Recall(), c.F1(), c.FalsePositiveRate())
+	}
+}
+
+func shortDur(d time.Duration) string { return d.String() }

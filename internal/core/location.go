@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/sim"
+	"mira/internal/topology"
+)
+
+// The paper's predictor monitors each rack individually and notes that
+// "operationally it will be even more useful to have a predictor which even
+// predicts the location of an impending CMF from the overall coolant
+// telemetry of the datacenter". LocationRecorder + EvaluateLocation build
+// that system-level view: machine-wide feature frames are scored per rack,
+// and the ranking is evaluated against where failures actually struck.
+
+// Frame is one machine-wide feature snapshot: every reporting rack's
+// delta-features at an instant.
+type Frame struct {
+	Time     time.Time
+	Features map[topology.RackID][]float64
+}
+
+// LocationRecorder is a sim.Recorder that captures machine-wide frames at a
+// fixed cadence plus the incident ground truth.
+type LocationRecorder struct {
+	sim.NopRecorder
+
+	step      time.Duration
+	snapEvery int
+	ringLen   int
+
+	rings    [topology.NumRacks][]sensors.Record
+	ringPos  [topology.NumRacks]int
+	ringFull [topology.NumRacks]bool
+	tick     int
+
+	frames    []Frame
+	incidents []sim.Incident
+}
+
+// NewLocationRecorder captures a frame every snapEvery ticks at the given
+// telemetry step.
+func NewLocationRecorder(step time.Duration, snapEvery int) *LocationRecorder {
+	r := &LocationRecorder{
+		step:      step,
+		snapEvery: snapEvery,
+		ringLen:   int(FeatureSpan/step) + int(EndpointSmoothing/step) + 2,
+	}
+	for i := range r.rings {
+		r.rings[i] = make([]sensors.Record, r.ringLen)
+	}
+	return r
+}
+
+// OnSample pushes into the rack's ring; the machine-wide frame is cut when
+// the last rack of a tick reports.
+func (r *LocationRecorder) OnSample(rec sensors.Record) {
+	i := rec.Rack.Index()
+	r.rings[i][r.ringPos[i]] = rec
+	r.ringPos[i] = (r.ringPos[i] + 1) % r.ringLen
+	if r.ringPos[i] == 0 {
+		r.ringFull[i] = true
+	}
+}
+
+// OnRackState drives the cadence (it fires for every rack every tick,
+// including down racks; the first rack of each tick advances the counter).
+func (r *LocationRecorder) OnRackState(t time.Time, rack topology.RackID, _ float64) {
+	if rack.Index() != 0 {
+		return
+	}
+	r.tick++
+	if r.snapEvery <= 0 || r.tick%r.snapEvery != 0 {
+		return
+	}
+	frame := Frame{Time: t, Features: make(map[topology.RackID][]float64, topology.NumRacks)}
+	for i := range r.rings {
+		if !r.ringFull[i] {
+			continue
+		}
+		recs := r.ringInOrder(i)
+		f, err := DeltaFeatures(recs, r.step, 0)
+		if err != nil {
+			continue
+		}
+		frame.Features[topology.RackByIndex(i)] = f
+	}
+	if len(frame.Features) > 0 {
+		r.frames = append(r.frames, frame)
+	}
+}
+
+func (r *LocationRecorder) ringInOrder(i int) []sensors.Record {
+	out := make([]sensors.Record, 0, r.ringLen)
+	out = append(out, r.rings[i][r.ringPos[i]:]...)
+	out = append(out, r.rings[i][:r.ringPos[i]]...)
+	return out
+}
+
+// OnIncident records ground truth.
+func (r *LocationRecorder) OnIncident(inc sim.Incident) { r.incidents = append(r.incidents, inc) }
+
+// Frames returns the captured machine-wide frames.
+func (r *LocationRecorder) Frames() []Frame { return r.frames }
+
+// Incidents returns the ground truth.
+func (r *LocationRecorder) Incidents() []sim.Incident { return r.incidents }
+
+// LocationReport evaluates rack-ranking performance.
+type LocationReport struct {
+	// Evaluated is the number of incidents with a usable preceding frame.
+	Evaluated int
+	// Top1 and Top3 are the fractions of incidents whose epicenter ranked
+	// first (resp. in the top three) among all reporting racks.
+	Top1, Top3 float64
+	// MeanEpicenterRank is the mean 1-based rank of the epicenter.
+	MeanEpicenterRank float64
+	// FrameAlarmPrecision is, over frames raising a machine-wide alert
+	// (the same rack above the alert threshold in two consecutive frames —
+	// a single-frame max over 48 racks would multiply the per-rack false
+	// positive rate by 48, the limitation the paper flags), the fraction
+	// followed by a CMF within the alarm-validity window.
+	FrameAlarmPrecision float64
+	// AlarmFrames counts frames that crossed the threshold.
+	AlarmFrames int
+}
+
+// EvaluateLocation ranks racks in each frame by the predictor's probability
+// and scores the ranking against the incidents. horizon bounds how far
+// ahead of the frame an incident may be (the paper's six hours); minLead
+// excludes frames so close to the failure that prediction is moot.
+func EvaluateLocation(rec *LocationRecorder, p *Predictor, horizon, minLead time.Duration, threshold float64) (LocationReport, error) {
+	if p == nil {
+		return LocationReport{}, errors.New("core: nil predictor")
+	}
+	frames := rec.Frames()
+	incidents := rec.Incidents()
+	if len(frames) == 0 || len(incidents) == 0 {
+		return LocationReport{}, errors.New("core: need frames and incidents")
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+
+	// Score all frames once.
+	type scored struct {
+		frame Frame
+		probs map[topology.RackID]float64
+		top   topology.RackID
+		max   float64
+	}
+	scoredFrames := make([]scored, 0, len(frames))
+	for _, fr := range frames {
+		s := scored{frame: fr, probs: make(map[topology.RackID]float64, len(fr.Features)), max: -1}
+		for rack, f := range fr.Features {
+			pr := p.Probability(f)
+			s.probs[rack] = pr
+			if pr > s.max {
+				s.max = pr
+				s.top = rack
+			}
+		}
+		scoredFrames = append(scoredFrames, s)
+	}
+
+	var rep LocationReport
+	var rankSum float64
+	for _, inc := range incidents {
+		// Latest frame in [inc.Time − horizon, inc.Time − minLead].
+		var best *scored
+		for i := range scoredFrames {
+			ft := scoredFrames[i].frame.Time
+			if ft.After(inc.Time.Add(-minLead)) || ft.Before(inc.Time.Add(-horizon)) {
+				continue
+			}
+			if best == nil || ft.After(best.frame.Time) {
+				best = &scoredFrames[i]
+			}
+		}
+		if best == nil {
+			continue
+		}
+		pEpi, ok := best.probs[inc.Epicenter]
+		if !ok {
+			continue
+		}
+		rank := 1
+		for _, pr := range best.probs {
+			if pr > pEpi {
+				rank++
+			}
+		}
+		rep.Evaluated++
+		rankSum += float64(rank)
+		if rank == 1 {
+			rep.Top1++
+		}
+		if rank <= 3 {
+			rep.Top3++
+		}
+	}
+	if rep.Evaluated > 0 {
+		rep.Top1 /= float64(rep.Evaluated)
+		rep.Top3 /= float64(rep.Evaluated)
+		rep.MeanEpicenterRank = rankSum / float64(rep.Evaluated)
+	}
+
+	// Machine-wide alarm precision. An alarm counts as real when a CMF
+	// follows within the alarm-validity window, which is wider than the
+	// ranking horizon: precursor drift can announce a failure well before
+	// six hours, and an early warning is still a true warning.
+	alarmWindow := horizon * 5 / 2
+	sort.Slice(incidents, func(a, b int) bool { return incidents[a].Time.Before(incidents[b].Time) })
+	hits := 0
+	for fi := 1; fi < len(scoredFrames); fi++ {
+		cur, prev := &scoredFrames[fi], &scoredFrames[fi-1]
+		sustained := false
+		for rack, pr := range cur.probs {
+			if pr >= threshold && prev.probs[rack] >= threshold {
+				sustained = true
+				break
+			}
+		}
+		if !sustained {
+			continue
+		}
+		rep.AlarmFrames++
+		for _, inc := range incidents {
+			d := inc.Time.Sub(cur.frame.Time)
+			// A CMF ahead within the validity window makes the alarm a
+			// true warning; one shortly behind explains a trailing alarm
+			// (surviving racks still carry the loop disturbance in their
+			// trailing six-hour features).
+			if d >= -horizon && d <= alarmWindow {
+				hits++
+				break
+			}
+		}
+	}
+	if rep.AlarmFrames > 0 {
+		rep.FrameAlarmPrecision = float64(hits) / float64(rep.AlarmFrames)
+	}
+	return rep, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mira/internal/sim"
+	"mira/internal/timeutil"
+	"mira/internal/topology"
+)
+
+var locData = struct {
+	once      sync.Once
+	rec       *LocationRecorder
+	predictor *Predictor
+	err       error
+}{}
+
+// locSetup runs one failure-dense window with both the location recorder
+// (for frames) and the incident recorder (to train a predictor).
+func locSetup(t *testing.T) (*LocationRecorder, *Predictor) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation-backed location test skipped in -short mode")
+	}
+	locData.once.Do(func() {
+		// Frames every hour (12 ticks at 300 s).
+		locData.rec = NewLocationRecorder(simStep, 12)
+		windowTicks := int((FeatureSpan+6*time.Hour)/simStep) + 1
+		win := sim.NewIncidentWindowRecorder(windowTicks, 250, 2000)
+		s := sim.New(sim.Config{
+			Seed:  55,
+			Start: time.Date(2016, 6, 1, 0, 0, 0, 0, timeutil.Chicago),
+			End:   time.Date(2016, 10, 1, 0, 0, 0, 0, timeutil.Chicago),
+			Step:  simStep,
+		})
+		s.AddRecorder(locData.rec)
+		s.AddRecorder(win)
+		if err := s.Run(); err != nil {
+			locData.err = err
+			return
+		}
+		ds, err := BuildDataset(win.Positives(), win.Negatives(FeatureSpan), simStep, time.Hour, DeltaFeatures, 56)
+		if err != nil {
+			locData.err = err
+			return
+		}
+		locData.predictor, locData.err = Train(ds, Config{Seed: 57})
+	})
+	if locData.err != nil {
+		t.Fatal(locData.err)
+	}
+	return locData.rec, locData.predictor
+}
+
+func TestLocationFramesCaptured(t *testing.T) {
+	rec, _ := locSetup(t)
+	frames := rec.Frames()
+	if len(frames) < 1000 {
+		t.Fatalf("frames = %d, want hourly frames over four months", len(frames))
+	}
+	// Frames cover most racks and carry full feature vectors.
+	f := frames[len(frames)/2]
+	if len(f.Features) < 40 {
+		t.Errorf("frame covers %d racks", len(f.Features))
+	}
+	for rack, feat := range f.Features {
+		if len(feat) != NumFeatures {
+			t.Fatalf("rack %v features = %d", rack, len(feat))
+		}
+	}
+	if len(rec.Incidents()) == 0 {
+		t.Fatal("no incidents recorded")
+	}
+}
+
+func TestEvaluateLocationRanking(t *testing.T) {
+	rec, p := locSetup(t)
+	rep, err := EvaluateLocation(rec, p, FeatureSpan, 30*time.Minute, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated < 10 {
+		t.Fatalf("evaluated incidents = %d", rep.Evaluated)
+	}
+	// The epicenter should rank far above a random rack (expected random
+	// rank ≈ 24 of 48). The loop-wide precursor also elevates cascade racks,
+	// so demand a strong but not perfect ranking.
+	if rep.MeanEpicenterRank > 12 {
+		t.Errorf("mean epicenter rank = %v, want ≪ 24 (random)", rep.MeanEpicenterRank)
+	}
+	if rep.Top3 < 0.4 {
+		t.Errorf("top-3 accuracy = %v, want the epicenter usually near the top", rep.Top3)
+	}
+	if rep.Top1 > rep.Top3 {
+		t.Error("top-1 cannot exceed top-3")
+	}
+	// Machine-wide alarms should usually precede a real failure.
+	if rep.AlarmFrames == 0 {
+		t.Fatal("no alarm frames")
+	}
+	if rep.FrameAlarmPrecision < 0.5 {
+		t.Errorf("frame alarm precision = %v, want most alarms real", rep.FrameAlarmPrecision)
+	}
+}
+
+func TestEvaluateLocationValidation(t *testing.T) {
+	rec, p := locSetup(t)
+	if _, err := EvaluateLocation(rec, nil, FeatureSpan, 0, 0.5); err == nil {
+		t.Error("nil predictor should error")
+	}
+	empty := NewLocationRecorder(simStep, 12)
+	if _, err := EvaluateLocation(empty, p, FeatureSpan, 0, 0.5); err == nil {
+		t.Error("empty recorder should error")
+	}
+}
+
+func TestLocationRecorderRingOrder(t *testing.T) {
+	rec := NewLocationRecorder(5*time.Minute, 1)
+	rack := topology.RackID{Row: 0, Col: 0}
+	n := rec.ringLen + 5
+	base := time.Date(2016, 8, 1, 0, 0, 0, 0, timeutil.Chicago)
+	for i := 0; i < n; i++ {
+		w := syntheticWindow(1, 5*time.Minute, 0)
+		r := w.Records[0]
+		r.Rack = rack
+		r.Time = base.Add(time.Duration(i) * 5 * time.Minute)
+		r.InletTemp = 64
+		rec.OnSample(r)
+	}
+	recs := rec.ringInOrder(rack.Index())
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			t.Fatal("ring not in time order")
+		}
+	}
+}

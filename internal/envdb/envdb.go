@@ -1,0 +1,189 @@
+// Package envdb is the environmental database of the digital twin — the
+// stand-in for the IBM DB2 environmental database that stored Mira's
+// coolant-monitor samples. It provides an append-only, time-ordered store
+// with rack/time-range/metric queries, optional downsampling on ingest, and
+// CSV import/export so simulated telemetry can be inspected and shared.
+package envdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/topology"
+	"mira/internal/units"
+)
+
+// Store is an in-memory environmental database. It is not safe for
+// concurrent use; the simulator feeds it from a single goroutine.
+type Store struct {
+	// records per rack, in append (time) order.
+	records [topology.NumRacks][]sensors.Record
+
+	// Downsample keeps only every Nth sample per rack (0 or 1 = keep all).
+	Downsample int
+	counter    [topology.NumRacks]int
+}
+
+// NewStore creates an empty store keeping every sample.
+func NewStore() *Store { return &Store{} }
+
+// NewDownsampledStore creates a store that keeps one of every n samples per
+// rack, for bounded-memory multi-year runs.
+func NewDownsampledStore(n int) *Store { return &Store{Downsample: n} }
+
+// Append ingests one record. Records must arrive in non-decreasing time
+// order per rack; Append returns an error otherwise (the coolant monitor is
+// a periodic sampler, so out-of-order data indicates a bug upstream).
+func (s *Store) Append(r sensors.Record) error {
+	idx := r.Rack.Index()
+	if n := len(s.records[idx]); n > 0 && r.Time.Before(s.records[idx][n-1].Time) {
+		return fmt.Errorf("envdb: out-of-order record for rack %v: %v before %v",
+			r.Rack, r.Time, s.records[idx][n-1].Time)
+	}
+	s.counter[idx]++
+	if s.Downsample > 1 && (s.counter[idx]-1)%s.Downsample != 0 {
+		return nil
+	}
+	s.records[idx] = append(s.records[idx], r)
+	return nil
+}
+
+// Len returns the number of stored records across all racks.
+func (s *Store) Len() int {
+	total := 0
+	for i := range s.records {
+		total += len(s.records[i])
+	}
+	return total
+}
+
+// Query returns the stored records for one rack with timestamps in
+// [from, to), in time order.
+func (s *Store) Query(rack topology.RackID, from, to time.Time) []sensors.Record {
+	recs := s.records[rack.Index()]
+	lo := sort.Search(len(recs), func(i int) bool { return !recs[i].Time.Before(from) })
+	hi := sort.Search(len(recs), func(i int) bool { return !recs[i].Time.Before(to) })
+	out := make([]sensors.Record, hi-lo)
+	copy(out, recs[lo:hi])
+	return out
+}
+
+// Series extracts one metric for one rack over [from, to) as parallel
+// times/values slices.
+func (s *Store) Series(rack topology.RackID, m sensors.Metric, from, to time.Time) ([]time.Time, []float64) {
+	recs := s.Query(rack, from, to)
+	times := make([]time.Time, len(recs))
+	vals := make([]float64, len(recs))
+	for i, r := range recs {
+		times[i] = r.Time
+		vals[i] = r.Value(m)
+	}
+	return times, vals
+}
+
+// EachRecord visits every stored record (rack-major, time order within
+// rack). The callback must not retain the record slice.
+func (s *Store) EachRecord(f func(sensors.Record)) {
+	for i := range s.records {
+		for _, r := range s.records[i] {
+			f(r)
+		}
+	}
+}
+
+// csvHeader is the export schema.
+var csvHeader = []string{"time", "rack", "dc_temperature_f", "dc_humidity_rh", "coolant_flow_gpm", "inlet_temp_f", "outlet_temp_f", "power_w"}
+
+// ExportCSV writes all records (rack-major) as CSV.
+func (s *Store) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("envdb: writing header: %w", err)
+	}
+	var err error
+	s.EachRecord(func(r sensors.Record) {
+		if err != nil {
+			return
+		}
+		row := []string{
+			r.Time.UTC().Format(time.RFC3339),
+			r.Rack.String(),
+			strconv.FormatFloat(float64(r.DCTemperature), 'f', 3, 64),
+			strconv.FormatFloat(float64(r.DCHumidity), 'f', 3, 64),
+			strconv.FormatFloat(float64(r.Flow), 'f', 3, 64),
+			strconv.FormatFloat(float64(r.InletTemp), 'f', 3, 64),
+			strconv.FormatFloat(float64(r.OutletTemp), 'f', 3, 64),
+			strconv.FormatFloat(float64(r.Power), 'f', 1, 64),
+		}
+		err = cw.Write(row)
+	})
+	if err != nil {
+		return fmt.Errorf("envdb: writing rows: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV reads records in the ExportCSV schema into the store.
+func (s *Store) ImportCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("envdb: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return fmt.Errorf("envdb: unexpected header %v", header)
+	}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("envdb: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return fmt.Errorf("envdb: line %d: %w", line, err)
+		}
+		if err := s.Append(rec); err != nil {
+			return fmt.Errorf("envdb: line %d: %w", line, err)
+		}
+	}
+}
+
+func parseRow(row []string) (sensors.Record, error) {
+	var rec sensors.Record
+	ts, err := time.Parse(time.RFC3339, row[0])
+	if err != nil {
+		return rec, fmt.Errorf("bad time %q: %w", row[0], err)
+	}
+	rack, err := topology.ParseRackID(row[1])
+	if err != nil {
+		return rec, err
+	}
+	vals := make([]float64, 6)
+	for i := 0; i < 6; i++ {
+		v, err := strconv.ParseFloat(row[2+i], 64)
+		if err != nil {
+			return rec, fmt.Errorf("bad value %q: %w", row[2+i], err)
+		}
+		vals[i] = v
+	}
+	rec = sensors.Record{
+		Time:          ts,
+		Rack:          rack,
+		DCTemperature: units.Fahrenheit(vals[0]),
+		DCHumidity:    units.RelativeHumidity(vals[1]),
+		Flow:          units.GPM(vals[2]),
+		InletTemp:     units.Fahrenheit(vals[3]),
+		OutletTemp:    units.Fahrenheit(vals[4]),
+		Power:         units.Watts(vals[5]),
+	}
+	return rec, nil
+}

@@ -1,0 +1,188 @@
+package envdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/timeutil"
+	"mira/internal/topology"
+	"mira/internal/units"
+)
+
+func rec(rack topology.RackID, ts time.Time, inlet float64) sensors.Record {
+	return sensors.Record{
+		Time: ts, Rack: rack,
+		DCTemperature: 80, DCHumidity: 32,
+		Flow: 26.5, InletTemp: units.Fahrenheit(inlet), OutletTemp: 79,
+		Power: units.KW(57),
+	}
+}
+
+var base = time.Date(2015, 3, 1, 0, 0, 0, 0, timeutil.Chicago)
+
+func TestAppendAndQuery(t *testing.T) {
+	s := NewStore()
+	r1 := topology.RackID{Row: 0, Col: 1}
+	r2 := topology.RackID{Row: 2, Col: 7}
+	for i := 0; i < 10; i++ {
+		ts := base.Add(time.Duration(i) * timeutil.SampleInterval)
+		if err := s.Append(rec(r1, ts, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(rec(r2, ts, 65)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 20 {
+		t.Errorf("Len = %d, want 20", s.Len())
+	}
+	got := s.Query(r1, base.Add(2*timeutil.SampleInterval), base.Add(5*timeutil.SampleInterval))
+	if len(got) != 3 {
+		t.Fatalf("Query returned %d records, want 3", len(got))
+	}
+	for _, r := range got {
+		if r.Rack != r1 {
+			t.Errorf("cross-rack contamination: %v", r.Rack)
+		}
+	}
+}
+
+func TestAppendOutOfOrder(t *testing.T) {
+	s := NewStore()
+	r := topology.RackID{Row: 1, Col: 1}
+	if err := s.Append(rec(r, base.Add(time.Hour), 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(r, base, 64)); err == nil {
+		t.Error("out-of-order append should fail")
+	}
+	// Equal timestamps are fine (re-sampling edge).
+	if err := s.Append(rec(r, base.Add(time.Hour), 64)); err != nil {
+		t.Errorf("equal-time append should succeed: %v", err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewStore()
+	r := topology.RackID{Row: 1, Col: 4}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(rec(r, base.Add(time.Duration(i)*time.Minute), 64+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	times, vals := s.Series(r, sensors.MetricInletTemp, base, base.Add(time.Hour))
+	if len(times) != 5 || len(vals) != 5 {
+		t.Fatalf("series lengths = %d/%d", len(times), len(vals))
+	}
+	if vals[0] != 64 || vals[4] != 68 {
+		t.Errorf("series values = %v", vals)
+	}
+}
+
+func TestDownsampling(t *testing.T) {
+	s := NewDownsampledStore(3)
+	r := topology.RackID{Row: 0, Col: 0}
+	for i := 0; i < 9; i++ {
+		if err := s.Append(rec(r, base.Add(time.Duration(i)*time.Minute), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("downsampled Len = %d, want 3", s.Len())
+	}
+}
+
+func TestEachRecord(t *testing.T) {
+	s := NewStore()
+	for i, r := range topology.AllRacks() {
+		if err := s.Append(rec(r, base, 64+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	s.EachRecord(func(sensors.Record) { count++ })
+	if count != topology.NumRacks {
+		t.Errorf("EachRecord visited %d, want %d", count, topology.NumRacks)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := NewStore()
+	r1 := topology.RackID{Row: 0, Col: 13}
+	r2 := topology.RackID{Row: 1, Col: 8}
+	for i := 0; i < 4; i++ {
+		ts := base.Add(time.Duration(i) * timeutil.SampleInterval)
+		if err := s.Append(rec(r1, ts, 64.25)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(rec(r2, ts, 63.75)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(0,D)") || !strings.Contains(out, "(1,8)") {
+		t.Errorf("CSV missing rack ids:\n%s", out)
+	}
+
+	s2 := NewStore()
+	if err := s2.ImportCSV(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Errorf("round-trip Len = %d, want %d", s2.Len(), s.Len())
+	}
+	got := s2.Query(r1, base, base.Add(time.Hour))
+	if len(got) != 4 {
+		t.Fatalf("round-trip query = %d records", len(got))
+	}
+	if float64(got[0].InletTemp) != 64.25 {
+		t.Errorf("round-trip inlet = %v", got[0].InletTemp)
+	}
+	if got[0].Power != units.KW(57) {
+		t.Errorf("round-trip power = %v", got[0].Power)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.ImportCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail on header")
+	}
+	if err := s.ImportCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Error("wrong header should fail")
+	}
+	bad := strings.Join(csvHeader, ",") + "\n2015-01-01T00:00:00Z,(9,9),1,2,3,4,5,6\n"
+	if err := s.ImportCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad rack should fail")
+	}
+	bad2 := strings.Join(csvHeader, ",") + "\nnot-a-time,(0,0),1,2,3,4,5,6\n"
+	if err := s.ImportCSV(strings.NewReader(bad2)); err == nil {
+		t.Error("bad time should fail")
+	}
+	bad3 := strings.Join(csvHeader, ",") + "\n2015-01-01T00:00:00Z,(0,0),x,2,3,4,5,6\n"
+	if err := s.ImportCSV(strings.NewReader(bad3)); err == nil {
+		t.Error("bad value should fail")
+	}
+}
+
+func TestQueryEmptyRange(t *testing.T) {
+	s := NewStore()
+	r := topology.RackID{Row: 0, Col: 5}
+	if err := s.Append(rec(r, base, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query(r, base.Add(time.Hour), base.Add(2*time.Hour)); len(got) != 0 {
+		t.Errorf("empty-range query returned %d records", len(got))
+	}
+	// Unqueried rack: empty, not nil panic.
+	if got := s.Query(topology.RackID{Row: 2, Col: 2}, base, base.Add(time.Hour)); len(got) != 0 {
+		t.Errorf("unknown rack query returned %d records", len(got))
+	}
+}

@@ -1,0 +1,226 @@
+// Package mitigation quantifies the operational value of CMF prediction —
+// the paper's §VI-B opportunity: "this time can be used to checkpoint
+// active jobs, alert data center users, and kick off backup and restorative
+// actions".
+//
+// Given the telemetry windows captured around failures and a trained
+// predictor, the package replays each incident, determines how much warning
+// the predictor would have provided, and compares the compute lost to the
+// failure under three checkpointing regimes: none, periodic, and
+// prediction-triggered.
+package mitigation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mira/internal/core"
+	"mira/internal/sim"
+	"mira/internal/topology"
+)
+
+// CheckpointModel prices checkpoint/restore actions.
+type CheckpointModel struct {
+	// Overhead is the wall-clock cost of writing one rack-level checkpoint
+	// (default 10 min — the paper calls software checkpointing expensive).
+	Overhead time.Duration
+	// Period is the periodic-checkpoint interval for the baseline regime
+	// (default 4 h).
+	Period time.Duration
+	// MeanJobAge is the expected elapsed runtime of a killed job absent
+	// any checkpoint (default 5 h), used for the no-checkpoint regime.
+	MeanJobAge time.Duration
+}
+
+func (m CheckpointModel) withDefaults() CheckpointModel {
+	if m.Overhead <= 0 {
+		m.Overhead = 10 * time.Minute
+	}
+	if m.Period <= 0 {
+		m.Period = 4 * time.Hour
+	}
+	if m.MeanJobAge <= 0 {
+		m.MeanJobAge = 5 * time.Hour
+	}
+	return m
+}
+
+// IncidentOutcome describes one incident's replay.
+type IncidentOutcome struct {
+	Epicenter topology.RackID
+	Time      time.Time
+	// WarningLead is how far before the failure the predictor first raised
+	// a sustained alert on the epicenter's telemetry (0 = never).
+	WarningLead time.Duration
+	// NodeHoursLostNone / Periodic / Predictive are the estimated lost
+	// node-hours under each regime.
+	NodeHoursLostNone       float64
+	NodeHoursLostPeriodic   float64
+	NodeHoursLostPredictive float64
+}
+
+// Report aggregates a mitigation study.
+type Report struct {
+	Incidents []IncidentOutcome
+	// WarnedFraction is the share of incidents with ≥ MinUsefulLead of
+	// warning.
+	WarnedFraction float64
+	// MeanWarningLead across warned incidents.
+	MeanWarningLead time.Duration
+	// Totals across incidents.
+	TotalLostNone       float64
+	TotalLostPeriodic   float64
+	TotalLostPredictive float64
+	// CheckpointOverheadHours is the node-hours spent writing
+	// prediction-triggered checkpoints (including false alarms).
+	CheckpointOverheadHours float64
+}
+
+// SavingsVsPeriodic returns the fraction of periodic-regime losses avoided
+// by prediction-triggered checkpointing (net of checkpoint overhead).
+func (r Report) SavingsVsPeriodic() float64 {
+	if r.TotalLostPeriodic == 0 {
+		return 0
+	}
+	return 1 - (r.TotalLostPredictive+r.CheckpointOverheadHours)/r.TotalLostPeriodic
+}
+
+// MinUsefulLead is the least warning worth acting on: one checkpoint write
+// plus margin.
+const MinUsefulLead = 30 * time.Minute
+
+// Config assembles a study.
+type Config struct {
+	// Predictor scores trailing-window features.
+	Predictor *core.Predictor
+	// Step is the telemetry cadence of the windows.
+	Step time.Duration
+	// AlertThreshold on the predictor probability (default 0.75).
+	AlertThreshold float64
+	// SustainTicks is how many consecutive ticks the score must stay above
+	// threshold before the alert counts (default 2 — debounces noise).
+	SustainTicks int
+	// Checkpoint prices the actions.
+	Checkpoint CheckpointModel
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Predictor == nil {
+		return c, errors.New("mitigation: nil predictor")
+	}
+	if c.Step <= 0 {
+		return c, errors.New("mitigation: non-positive step")
+	}
+	if c.AlertThreshold <= 0 {
+		c.AlertThreshold = 0.75
+	}
+	if c.SustainTicks <= 0 {
+		c.SustainTicks = 2
+	}
+	c.Checkpoint = c.Checkpoint.withDefaults()
+	return c, nil
+}
+
+// Evaluate replays each incident's telemetry window through the predictor
+// and prices the three regimes. positives must be the pre-CMF windows of
+// the incidents' epicenters (cascade-rack windows are matched by incident
+// time and rack). negatives, when non-empty, are also replayed to charge
+// false-alarm checkpoint overhead.
+func Evaluate(incidents []sim.Incident, positives, negatives []sim.Window, cfg Config) (Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	// Index epicenter windows by (rack, end time).
+	type key struct {
+		rack topology.RackID
+		end  time.Time
+	}
+	winByKey := make(map[key]sim.Window, len(positives))
+	for _, w := range positives {
+		winByKey[key{w.Rack, w.End}] = w
+	}
+
+	ckpt := cfg.Checkpoint
+	var rep Report
+	var warned int
+	var leadSum time.Duration
+	for _, inc := range incidents {
+		w, ok := winByKey[key{inc.Epicenter, inc.Time}]
+		if !ok {
+			continue
+		}
+		lead := firstSustainedAlert(w, cfg)
+		nodesLostScale := float64(len(inc.Racks)) * topology.NodesPerRack / 1000.0 // kilo-node scale
+
+		out := IncidentOutcome{Epicenter: inc.Epicenter, Time: inc.Time, WarningLead: lead}
+		// No checkpointing: every killed job loses its full elapsed runtime.
+		out.NodeHoursLostNone = nodesLostScale * ckpt.MeanJobAge.Hours()
+		// Periodic: expected loss is half the period plus the restart.
+		out.NodeHoursLostPeriodic = nodesLostScale * (ckpt.Period.Hours()/2 + ckpt.Overhead.Hours())
+		// Predictive: with enough warning, the loss shrinks to the work
+		// since the triggered checkpoint (≈ the warning spent writing it);
+		// otherwise fall back to the periodic loss.
+		if lead >= MinUsefulLead {
+			out.NodeHoursLostPredictive = nodesLostScale * (ckpt.Overhead.Hours() + 0.25)
+			warned++
+			leadSum += lead
+		} else {
+			out.NodeHoursLostPredictive = out.NodeHoursLostPeriodic
+		}
+		rep.Incidents = append(rep.Incidents, out)
+		rep.TotalLostNone += out.NodeHoursLostNone
+		rep.TotalLostPeriodic += out.NodeHoursLostPeriodic
+		rep.TotalLostPredictive += out.NodeHoursLostPredictive
+	}
+	if len(rep.Incidents) == 0 {
+		return rep, errors.New("mitigation: no incidents matched the provided windows")
+	}
+	rep.WarnedFraction = float64(warned) / float64(len(rep.Incidents))
+	if warned > 0 {
+		rep.MeanWarningLead = leadSum / time.Duration(warned)
+	}
+
+	// False alarms on quiet windows cost one rack checkpoint each.
+	falseAlarms := 0
+	for _, w := range negatives {
+		if firstSustainedAlert(w, cfg) > 0 {
+			falseAlarms++
+		}
+	}
+	rep.CheckpointOverheadHours = float64(falseAlarms) * topology.NodesPerRack / 1000.0 * ckpt.Overhead.Hours()
+	return rep, nil
+}
+
+// firstSustainedAlert walks the window chronologically and returns how long
+// before the window's end the predictor first stayed above threshold for
+// SustainTicks consecutive evaluations (0 = never).
+func firstSustainedAlert(w sim.Window, cfg Config) time.Duration {
+	n := len(w.Records)
+	span := int(core.FeatureSpan / cfg.Step)
+	consec := 0
+	for idx := span; idx < n; idx++ {
+		f, err := core.DeltaFeatures(w.Records[:idx+1], cfg.Step, 0)
+		if err != nil {
+			consec = 0
+			continue
+		}
+		if cfg.Predictor.Probability(f) >= cfg.AlertThreshold {
+			consec++
+		} else {
+			consec = 0
+		}
+		if consec >= cfg.SustainTicks {
+			return time.Duration(n-1-idx) * cfg.Step
+		}
+	}
+	return 0
+}
+
+// String renders the headline numbers.
+func (r Report) String() string {
+	return fmt.Sprintf("incidents=%d warned=%.0f%% meanLead=%v lost none/periodic/predictive = %.0f/%.0f/%.0f kNh (overhead %.1f)",
+		len(r.Incidents), r.WarnedFraction*100, r.MeanWarningLead.Round(time.Minute),
+		r.TotalLostNone, r.TotalLostPeriodic, r.TotalLostPredictive, r.CheckpointOverheadHours)
+}

@@ -1,0 +1,128 @@
+package mitigation
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mira/internal/core"
+	"mira/internal/sim"
+	"mira/internal/timeutil"
+)
+
+var studyData = struct {
+	once      sync.Once
+	incidents []sim.Incident
+	positives []sim.Window
+	negatives []sim.Window
+	predictor *core.Predictor
+	err       error
+}{}
+
+const step = timeutil.SampleInterval
+
+func setup(t *testing.T) ([]sim.Incident, []sim.Window, []sim.Window, *core.Predictor) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation-backed mitigation test skipped in -short mode")
+	}
+	studyData.once.Do(func() {
+		windowTicks := int((core.FeatureSpan+6*time.Hour)/step) + 1
+		rec := sim.NewIncidentWindowRecorder(windowTicks, 250, 2000)
+		s := sim.New(sim.Config{
+			Seed:  31,
+			Start: time.Date(2016, 6, 1, 0, 0, 0, 0, timeutil.Chicago),
+			End:   time.Date(2016, 11, 1, 0, 0, 0, 0, timeutil.Chicago),
+			Step:  step,
+		})
+		s.AddRecorder(rec)
+		if err := s.Run(); err != nil {
+			studyData.err = err
+			return
+		}
+		studyData.incidents = s.Incidents()
+		studyData.positives = rec.Positives()
+		studyData.negatives = rec.Negatives(core.FeatureSpan)
+		ds, err := core.BuildDataset(studyData.positives, studyData.negatives, step, time.Hour, core.DeltaFeatures, 32)
+		if err != nil {
+			studyData.err = err
+			return
+		}
+		studyData.predictor, studyData.err = core.Train(ds, core.Config{Seed: 33})
+	})
+	if studyData.err != nil {
+		t.Fatal(studyData.err)
+	}
+	return studyData.incidents, studyData.positives, studyData.negatives, studyData.predictor
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	incidents, pos, neg, p := setup(t)
+	rep, err := Evaluate(incidents, pos, neg, Config{Predictor: p, Step: step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Incidents) < 5 {
+		t.Fatalf("matched incidents = %d", len(rep.Incidents))
+	}
+	// The predictor should warn for most failures, well ahead.
+	if rep.WarnedFraction < 0.6 {
+		t.Errorf("warned fraction = %v, want most incidents warned", rep.WarnedFraction)
+	}
+	if rep.MeanWarningLead < time.Hour {
+		t.Errorf("mean warning lead = %v, want hours of notice", rep.MeanWarningLead)
+	}
+	// Regime ordering: no-checkpoint worst, predictive best.
+	if !(rep.TotalLostNone > rep.TotalLostPeriodic && rep.TotalLostPeriodic > rep.TotalLostPredictive) {
+		t.Errorf("loss ordering wrong: none=%v periodic=%v predictive=%v",
+			rep.TotalLostNone, rep.TotalLostPeriodic, rep.TotalLostPredictive)
+	}
+	// Net savings after checkpoint overhead.
+	if s := rep.SavingsVsPeriodic(); s < 0.2 {
+		t.Errorf("net savings vs periodic = %v, want substantial", s)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	_, pos, neg, p := setup(t)
+	if _, err := Evaluate(nil, pos, neg, Config{Predictor: p, Step: step}); err == nil {
+		t.Error("no incidents should error")
+	}
+	if _, err := Evaluate(nil, nil, nil, Config{Predictor: nil, Step: step}); err == nil {
+		t.Error("nil predictor should error")
+	}
+	if _, err := Evaluate(nil, nil, nil, Config{Predictor: p}); err == nil {
+		t.Error("zero step should error")
+	}
+}
+
+func TestHigherThresholdWarnsLess(t *testing.T) {
+	incidents, pos, neg, p := setup(t)
+	low, err := Evaluate(incidents, pos, neg, Config{Predictor: p, Step: step, AlertThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Evaluate(incidents, pos, neg, Config{Predictor: p, Step: step, AlertThreshold: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.WarnedFraction > low.WarnedFraction {
+		t.Errorf("raising the threshold should not warn more: %v -> %v",
+			low.WarnedFraction, high.WarnedFraction)
+	}
+	// A stricter threshold also reduces false-alarm overhead.
+	if high.CheckpointOverheadHours > low.CheckpointOverheadHours {
+		t.Errorf("overhead should shrink with threshold: %v -> %v",
+			low.CheckpointOverheadHours, high.CheckpointOverheadHours)
+	}
+}
+
+func TestCheckpointModelDefaults(t *testing.T) {
+	m := CheckpointModel{}.withDefaults()
+	if m.Overhead != 10*time.Minute || m.Period != 4*time.Hour || m.MeanJobAge != 5*time.Hour {
+		t.Errorf("defaults wrong: %+v", m)
+	}
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaler standardizes feature vectors to zero mean and unit variance, fitted
+// on training data only (so test data never leaks into the normalization).
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-feature means and standard deviations of X.
+// Features with zero variance get Std 1 so they pass through unchanged
+// after centering. It panics on an empty or ragged matrix.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 || len(X[0]) == 0 {
+		panic("nn: FitScaler needs a non-empty matrix")
+	}
+	d := len(X[0])
+	s := &Scaler{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range X {
+		if len(row) != d {
+			panic(fmt.Sprintf("nn: ragged feature matrix (%d vs %d)", len(row), d))
+		}
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns the standardized copy of x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes every row of X into a new matrix.
+func (s *Scaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitScalerBasics(t *testing.T) {
+	X := [][]float64{{1, 100}, {3, 200}, {5, 300}}
+	s := FitScaler(X)
+	if s.Mean[0] != 3 || s.Mean[1] != 200 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	z := s.Transform([]float64{3, 200})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Transform(mean) = %v, want zeros", z)
+	}
+	// Standardized training data has unit std per feature.
+	Z := s.TransformAll(X)
+	for j := 0; j < 2; j++ {
+		var ss float64
+		for i := range Z {
+			ss += Z[i][j] * Z[i][j]
+		}
+		if std := math.Sqrt(ss / 3); math.Abs(std-1) > 1e-9 {
+			t.Errorf("feature %d std = %v, want 1", j, std)
+		}
+	}
+}
+
+func TestFitScalerConstantFeature(t *testing.T) {
+	X := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	s := FitScaler(X)
+	z := s.Transform([]float64{5, 2})
+	if z[0] != 0 {
+		t.Errorf("constant feature should center to 0, got %v", z[0])
+	}
+	if s.Std[0] != 1 {
+		t.Errorf("constant feature Std should default to 1, got %v", s.Std[0])
+	}
+}
+
+func TestFitScalerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":  func() { FitScaler(nil) },
+		"ragged": func() { FitScaler([][]float64{{1, 2}, {3}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogisticLearnsLinearBoundary(t *testing.T) {
+	X := make([][]float64, 0, 400)
+	Y := make([]float64, 0, 400)
+	for i := 0; i < 400; i++ {
+		x1 := float64(i%20)/10 - 1
+		x2 := float64(i/20%20)/10 - 1
+		X = append(X, []float64{x1, x2})
+		if 2*x1-x2 > 0.1 {
+			Y = append(Y, 1)
+		} else {
+			Y = append(Y, 0)
+		}
+	}
+	m := NewLogistic(2)
+	losses, err := m.Fit(X, Y, TrainConfig{Epochs: 200, LearningRate: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Error("logistic loss did not decrease")
+	}
+	correct := 0
+	for i, x := range X {
+		if m.PredictClass(x, 0.5) == (Y[i] == 1) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(X)); acc < 0.93 {
+		t.Errorf("logistic accuracy = %v, want >= 0.93", acc)
+	}
+}
+
+func TestLogisticValidation(t *testing.T) {
+	m := NewLogistic(2)
+	if _, err := m.Fit(nil, nil, TrainConfig{}); err == nil {
+		t.Error("empty training set should error")
+	}
+	if _, err := m.Fit([][]float64{{1, 2}}, []float64{0, 1}, TrainConfig{}); err == nil {
+		t.Error("mismatched X/Y should error")
+	}
+}
+
+func TestLogisticPredictRange(t *testing.T) {
+	m := NewLogistic(3)
+	m.W = []float64{10, -5, 2}
+	m.B = 1
+	for _, x := range [][]float64{{100, 0, 0}, {-100, 0, 0}, {0, 0, 0}} {
+		p := m.Predict(x)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("Predict(%v) = %v", x, p)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package topology models the physical and logical structure of the Mira
+// Blue Gene/Q system: 48 compute racks arranged in 3 rows of 16 columns,
+// the midplane/node-board/node hierarchy, the air-cooled I/O rack rows, and
+// the clock-signal dependency graph that turns single-rack coolant-monitor
+// failures into system-wide outages.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// System-level constants of the Mira machine (paper §II).
+const (
+	// Rows of compute racks.
+	Rows = 3
+	// ColsPerRow is the number of compute racks per row.
+	ColsPerRow = 16
+	// NumRacks is the total number of compute racks.
+	NumRacks = Rows * ColsPerRow
+	// MidplanesPerRack is the allocation granularity of the scheduler.
+	MidplanesPerRack = 2
+	// NumMidplanes is the system-wide midplane count.
+	NumMidplanes = NumRacks * MidplanesPerRack
+	// NodeBoardsPerMidplane per the BG/Q design.
+	NodeBoardsPerMidplane = 16
+	// NodesPerBoard compute cards per node board.
+	NodesPerBoard = 32
+	// NodesPerMidplane = 512.
+	NodesPerMidplane = NodeBoardsPerMidplane * NodesPerBoard
+	// NodesPerRack = 1,024.
+	NodesPerRack = MidplanesPerRack * NodesPerMidplane
+	// TotalNodes = 49,152.
+	TotalNodes = NumRacks * NodesPerRack
+	// ActiveCoresPerNode: 16 of the 18 A2 cores run computation.
+	ActiveCoresPerNode = 16
+	// TotalCores = 786,432 active cores.
+	TotalCores = TotalNodes * ActiveCoresPerNode
+	// IONRacks is the number of air-cooled I/O forwarding-node racks (two
+	// at the end of each row).
+	IONRacks = 6
+)
+
+// RackID identifies a compute rack by row (0–2) and column (0–15). The paper
+// writes racks as (row, column) with hexadecimal columns, e.g. (1, 8) or
+// (0, D).
+type RackID struct {
+	Row int
+	Col int
+}
+
+// Valid reports whether the rack coordinates are on the floor.
+func (r RackID) Valid() bool {
+	return r.Row >= 0 && r.Row < Rows && r.Col >= 0 && r.Col < ColsPerRow
+}
+
+// Index returns the dense index of the rack in [0, NumRacks).
+func (r RackID) Index() int { return r.Row*ColsPerRow + r.Col }
+
+// RackByIndex returns the RackID for a dense index in [0, NumRacks).
+// It panics on an out-of-range index (programmer error).
+func RackByIndex(i int) RackID {
+	if i < 0 || i >= NumRacks {
+		panic(fmt.Sprintf("topology: rack index %d out of range", i))
+	}
+	return RackID{Row: i / ColsPerRow, Col: i % ColsPerRow}
+}
+
+// String renders the paper's (row, hex-column) notation, e.g. "(0,D)".
+func (r RackID) String() string {
+	return fmt.Sprintf("(%d,%c)", r.Row, hexDigit(r.Col))
+}
+
+func hexDigit(c int) byte {
+	const digits = "0123456789ABCDEF"
+	if c < 0 || c >= len(digits) {
+		return '?'
+	}
+	return digits[c]
+}
+
+// ParseRackID parses the "(row,col)" notation, accepting hex column digits
+// in either case.
+func ParseRackID(s string) (RackID, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "(")
+	t = strings.TrimSuffix(t, ")")
+	parts := strings.Split(t, ",")
+	if len(parts) != 2 {
+		return RackID{}, fmt.Errorf("topology: malformed rack id %q", s)
+	}
+	rowStr := strings.TrimSpace(parts[0])
+	colStr := strings.TrimSpace(parts[1])
+	if len(rowStr) != 1 || rowStr[0] < '0' || rowStr[0] > '2' {
+		return RackID{}, fmt.Errorf("topology: bad row in rack id %q", s)
+	}
+	if len(colStr) != 1 {
+		return RackID{}, fmt.Errorf("topology: bad column in rack id %q", s)
+	}
+	col := strings.IndexByte("0123456789ABCDEF", colStr[0])
+	if col < 0 {
+		col = strings.IndexByte("0123456789abcdef", colStr[0])
+	}
+	if col < 0 {
+		return RackID{}, fmt.Errorf("topology: bad column in rack id %q", s)
+	}
+	return RackID{Row: int(rowStr[0] - '0'), Col: col}, nil
+}
+
+// AllRacks returns every compute rack in dense-index order.
+func AllRacks() []RackID {
+	out := make([]RackID, NumRacks)
+	for i := range out {
+		out[i] = RackByIndex(i)
+	}
+	return out
+}
+
+// RowRacks returns the racks of one row in column order.
+func RowRacks(row int) []RackID {
+	if row < 0 || row >= Rows {
+		panic(fmt.Sprintf("topology: row %d out of range", row))
+	}
+	out := make([]RackID, ColsPerRow)
+	for c := range out {
+		out[c] = RackID{Row: row, Col: c}
+	}
+	return out
+}
+
+// DistanceFromRowEnd returns how many racks separate r from the nearest end
+// of its row (0 for the outermost racks). The paper attributes reduced
+// underfloor airflow — and hence drier, warmer ambient conditions — to the
+// last three or four racks on either side of each row.
+func (r RackID) DistanceFromRowEnd() int {
+	left := r.Col
+	right := ColsPerRow - 1 - r.Col
+	if left < right {
+		return left
+	}
+	return right
+}
+
+// Well-known racks called out by the paper.
+var (
+	// ClockRoot is rack (1,4): all racks receive their clock signal through
+	// it, so its failure takes down the entire system.
+	ClockRoot = RackID{Row: 1, Col: 4}
+	// ClockRelay0A is rack (0,A), which relays the clock to rack (0,9).
+	ClockRelay0A = RackID{Row: 0, Col: 0xA}
+	// ClockLeaf09 is rack (0,9), which has no clock card of its own.
+	ClockLeaf09 = RackID{Row: 0, Col: 9}
+	// HumidityHotspot is rack (1,8), the localized humidity hotspot in the
+	// center of row 1 and the rack with the most CMFs (14).
+	HumidityHotspot = RackID{Row: 1, Col: 8}
+	// QuietRack is rack (2,7), the rack with the fewest CMFs (5).
+	QuietRack = RackID{Row: 2, Col: 7}
+	// HotRack is rack (0,D), the rack with the highest power consumption.
+	HotRack = RackID{Row: 0, Col: 0xD}
+	// BusyRack is rack (0,A), the rack with the highest utilization.
+	BusyRack = RackID{Row: 0, Col: 0xA}
+)
+
+// ClockGraph is the clock-signal distribution tree. Every rack except the
+// root receives its clock through its parent; when a rack goes down, its
+// entire clock subtree loses the signal and fails with it.
+type ClockGraph struct {
+	parent map[RackID]RackID
+}
+
+// NewClockGraph builds Mira's clock tree: rack (1,4) is the source for the
+// whole system, and rack (0,9) is chained through rack (0,A) (paper §VI-A).
+func NewClockGraph() *ClockGraph {
+	g := &ClockGraph{parent: make(map[RackID]RackID)}
+	for _, r := range AllRacks() {
+		if r == ClockRoot {
+			continue
+		}
+		g.parent[r] = ClockRoot
+	}
+	g.parent[ClockLeaf09] = ClockRelay0A
+	return g
+}
+
+// Parent returns the clock parent of r; ok is false for the root.
+func (g *ClockGraph) Parent(r RackID) (RackID, bool) {
+	p, ok := g.parent[r]
+	return p, ok
+}
+
+// Dependents returns every rack whose clock signal passes through r
+// (directly or transitively), excluding r itself. For the root this is all
+// other racks.
+func (g *ClockGraph) Dependents(r RackID) []RackID {
+	var out []RackID
+	for _, cand := range AllRacks() {
+		if cand == r {
+			continue
+		}
+		if g.dependsOn(cand, r) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// dependsOn reports whether the clock path of rack a passes through b.
+func (g *ClockGraph) dependsOn(a, b RackID) bool {
+	for {
+		p, ok := g.parent[a]
+		if !ok {
+			return false
+		}
+		if p == b {
+			return true
+		}
+		a = p
+	}
+}
+
+// FailureDomain returns the set of racks that go down when r fails: r plus
+// its clock dependents.
+func (g *ClockGraph) FailureDomain(r RackID) []RackID {
+	return append([]RackID{r}, g.Dependents(r)...)
+}

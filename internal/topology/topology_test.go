@@ -1,0 +1,218 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if NumRacks != 48 {
+		t.Errorf("NumRacks = %d", NumRacks)
+	}
+	if NodesPerRack != 1024 {
+		t.Errorf("NodesPerRack = %d", NodesPerRack)
+	}
+	if TotalNodes != 49152 {
+		t.Errorf("TotalNodes = %d", TotalNodes)
+	}
+	if TotalCores != 786432 {
+		t.Errorf("TotalCores = %d", TotalCores)
+	}
+	if NodesPerMidplane != 512 {
+		t.Errorf("NodesPerMidplane = %d", NodesPerMidplane)
+	}
+	if NumMidplanes != 96 {
+		t.Errorf("NumMidplanes = %d", NumMidplanes)
+	}
+	if IONRacks != 6 {
+		t.Errorf("IONRacks = %d", IONRacks)
+	}
+}
+
+func TestRackIDIndexRoundTrip(t *testing.T) {
+	for i := 0; i < NumRacks; i++ {
+		r := RackByIndex(i)
+		if !r.Valid() {
+			t.Fatalf("RackByIndex(%d) = %v invalid", i, r)
+		}
+		if r.Index() != i {
+			t.Fatalf("round trip failed: %d -> %v -> %d", i, r, r.Index())
+		}
+	}
+}
+
+func TestRackByIndexPanics(t *testing.T) {
+	for _, i := range []int{-1, 48, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RackByIndex(%d) should panic", i)
+				}
+			}()
+			RackByIndex(i)
+		}()
+	}
+}
+
+func TestRackIDString(t *testing.T) {
+	cases := []struct {
+		r    RackID
+		want string
+	}{
+		{RackID{0, 13}, "(0,D)"},
+		{RackID{1, 8}, "(1,8)"},
+		{RackID{2, 7}, "(2,7)"},
+		{RackID{0, 10}, "(0,A)"},
+		{RackID{1, 4}, "(1,4)"},
+	}
+	for _, tc := range cases {
+		if got := tc.r.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestParseRackID(t *testing.T) {
+	for _, s := range []string{"(0,D)", "(1,8)", "(2,f)", " (0, A) "} {
+		r, err := ParseRackID(s)
+		if err != nil {
+			t.Errorf("ParseRackID(%q): %v", s, err)
+			continue
+		}
+		if !r.Valid() {
+			t.Errorf("ParseRackID(%q) = %v invalid", s, r)
+		}
+	}
+	for _, s := range []string{"", "(3,0)", "(0,G)", "(0)", "0,1,2"} {
+		if _, err := ParseRackID(s); err == nil {
+			t.Errorf("ParseRackID(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(i uint) bool {
+		r := RackByIndex(int(i % NumRacks))
+		parsed, err := ParseRackID(r.String())
+		return err == nil && parsed == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllRacksAndRows(t *testing.T) {
+	all := AllRacks()
+	if len(all) != NumRacks {
+		t.Fatalf("AllRacks len = %d", len(all))
+	}
+	seen := make(map[RackID]bool)
+	for _, r := range all {
+		if seen[r] {
+			t.Fatalf("duplicate rack %v", r)
+		}
+		seen[r] = true
+	}
+	row1 := RowRacks(1)
+	if len(row1) != ColsPerRow {
+		t.Fatalf("RowRacks len = %d", len(row1))
+	}
+	for c, r := range row1 {
+		if r.Row != 1 || r.Col != c {
+			t.Errorf("RowRacks[1][%d] = %v", c, r)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RowRacks(3) should panic")
+		}
+	}()
+	RowRacks(3)
+}
+
+func TestDistanceFromRowEnd(t *testing.T) {
+	cases := []struct {
+		col, want int
+	}{
+		{0, 0}, {15, 0}, {1, 1}, {14, 1}, {7, 7}, {8, 7},
+	}
+	for _, tc := range cases {
+		r := RackID{Row: 0, Col: tc.col}
+		if got := r.DistanceFromRowEnd(); got != tc.want {
+			t.Errorf("DistanceFromRowEnd(col=%d) = %d, want %d", tc.col, got, tc.want)
+		}
+	}
+}
+
+func TestWellKnownRacks(t *testing.T) {
+	if ClockRoot.String() != "(1,4)" {
+		t.Errorf("ClockRoot = %v", ClockRoot)
+	}
+	if HumidityHotspot.String() != "(1,8)" {
+		t.Errorf("HumidityHotspot = %v", HumidityHotspot)
+	}
+	if HotRack.String() != "(0,D)" {
+		t.Errorf("HotRack = %v", HotRack)
+	}
+	if BusyRack.String() != "(0,A)" {
+		t.Errorf("BusyRack = %v", BusyRack)
+	}
+	if QuietRack.String() != "(2,7)" {
+		t.Errorf("QuietRack = %v", QuietRack)
+	}
+}
+
+func TestClockGraphRoot(t *testing.T) {
+	g := NewClockGraph()
+	if _, ok := g.Parent(ClockRoot); ok {
+		t.Error("root should have no parent")
+	}
+	// Paper: if rack (1,4) fails, the entire system fails.
+	dom := g.FailureDomain(ClockRoot)
+	if len(dom) != NumRacks {
+		t.Errorf("root failure domain = %d racks, want all %d", len(dom), NumRacks)
+	}
+}
+
+func TestClockGraphRelay(t *testing.T) {
+	g := NewClockGraph()
+	// Paper: rack (0,9) gets its clock through rack (0,A).
+	p, ok := g.Parent(ClockLeaf09)
+	if !ok || p != ClockRelay0A {
+		t.Errorf("parent of (0,9) = %v, want (0,A)", p)
+	}
+	dom := g.FailureDomain(ClockRelay0A)
+	if len(dom) != 2 {
+		t.Fatalf("(0,A) failure domain = %v, want itself and (0,9)", dom)
+	}
+	found := false
+	for _, r := range dom {
+		if r == ClockLeaf09 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("(0,9) should fail when (0,A) fails")
+	}
+}
+
+func TestClockGraphLeaf(t *testing.T) {
+	g := NewClockGraph()
+	// An ordinary rack takes only itself down.
+	dom := g.FailureDomain(RackID{Row: 2, Col: 3})
+	if len(dom) != 1 {
+		t.Errorf("leaf failure domain = %v, want only itself", dom)
+	}
+	// (0,9) is a leaf too.
+	if dom := g.FailureDomain(ClockLeaf09); len(dom) != 1 {
+		t.Errorf("(0,9) failure domain = %v", dom)
+	}
+}
+
+func TestClockGraphEveryRackDependsOnRoot(t *testing.T) {
+	g := NewClockGraph()
+	deps := g.Dependents(ClockRoot)
+	if len(deps) != NumRacks-1 {
+		t.Errorf("root dependents = %d, want %d", len(deps), NumRacks-1)
+	}
+}

@@ -1,0 +1,179 @@
+// Package torus models Mira's IBM 5D torus interconnect (paper §II: the
+// system is "connected throughout by IBM 5D torus interconnect with two
+// GB/s chip-to-chip linkage, which reduces communication latency by
+// minimizing the average number of hops between nodes").
+//
+// Mira's node torus is 8×12×16×16×2 (= 49,152 nodes); each midplane is a
+// 4×4×4×4×2 sub-block, so the 96 midplanes tile a 2×3×4×4 midplane grid.
+// The package provides the coordinate mapping, wrap-around hop metrics, and
+// the partition-shape analyses that explain why the scheduler allocates
+// contiguous midplane blocks.
+package torus
+
+import (
+	"fmt"
+
+	"mira/internal/topology"
+)
+
+// Node-torus dimensions of Mira (A, B, C, D, E).
+var NodeDims = [5]int{8, 12, 16, 16, 2}
+
+// MidplaneBlock is the node sub-block one midplane occupies.
+var MidplaneBlock = [5]int{4, 4, 4, 4, 2}
+
+// MidplaneDims is the midplane-grid shape (NodeDims / MidplaneBlock).
+var MidplaneDims = [4]int{2, 3, 4, 4}
+
+// TotalNodes recomputed from the torus dims; must equal topology.TotalNodes.
+func TotalNodes() int {
+	n := 1
+	for _, d := range NodeDims {
+		n *= d
+	}
+	return n
+}
+
+// Coord is a midplane's position in the 2×3×4×4 midplane grid.
+type Coord struct {
+	A, B, C, D int
+}
+
+// Valid reports whether the coordinate is inside the midplane grid.
+func (c Coord) Valid() bool {
+	return c.A >= 0 && c.A < MidplaneDims[0] &&
+		c.B >= 0 && c.B < MidplaneDims[1] &&
+		c.C >= 0 && c.C < MidplaneDims[2] &&
+		c.D >= 0 && c.D < MidplaneDims[3]
+}
+
+func (c Coord) String() string {
+	return fmt.Sprintf("<%d,%d,%d,%d>", c.A, c.B, c.C, c.D)
+}
+
+// MidplaneCoord maps a scheduler midplane index (rack.Index()*2 + m, in
+// [0, 96)) to its torus coordinate. The mapping is the machine's cabling
+// order: D varies fastest along a rack row, then C, with rows and midplane
+// halves filling B and A.
+func MidplaneCoord(midplane int) Coord {
+	if midplane < 0 || midplane >= topology.NumMidplanes {
+		panic(fmt.Sprintf("torus: midplane %d out of range", midplane))
+	}
+	c := Coord{}
+	c.D = midplane % MidplaneDims[3]
+	midplane /= MidplaneDims[3]
+	c.C = midplane % MidplaneDims[2]
+	midplane /= MidplaneDims[2]
+	c.B = midplane % MidplaneDims[1]
+	midplane /= MidplaneDims[1]
+	c.A = midplane
+	return c
+}
+
+// MidplaneIndex is the inverse of MidplaneCoord.
+func MidplaneIndex(c Coord) int {
+	if !c.Valid() {
+		panic(fmt.Sprintf("torus: invalid coordinate %v", c))
+	}
+	return ((c.A*MidplaneDims[1]+c.B)*MidplaneDims[2]+c.C)*MidplaneDims[3] + c.D
+}
+
+// wrapDist is the distance along one torus dimension of size n.
+func wrapDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// HopDistance is the minimal midplane-grid hop count between two midplanes,
+// with wrap-around links in every dimension.
+func HopDistance(m1, m2 int) int {
+	c1, c2 := MidplaneCoord(m1), MidplaneCoord(m2)
+	return wrapDist(c1.A, c2.A, MidplaneDims[0]) +
+		wrapDist(c1.B, c2.B, MidplaneDims[1]) +
+		wrapDist(c1.C, c2.C, MidplaneDims[2]) +
+		wrapDist(c1.D, c2.D, MidplaneDims[3])
+}
+
+// Diameter is the largest pairwise hop distance in the midplane grid.
+func Diameter() int {
+	max := 0
+	for i := 0; i < topology.NumMidplanes; i++ {
+		for j := i + 1; j < topology.NumMidplanes; j++ {
+			if d := HopDistance(i, j); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MeanPairwiseHops returns the average hop distance over the given midplane
+// set (a job partition). Single-midplane sets return 0.
+func MeanPairwiseHops(midplanes []int) float64 {
+	n := len(midplanes)
+	if n < 2 {
+		return 0
+	}
+	total, pairs := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total += HopDistance(midplanes[i], midplanes[j])
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs)
+}
+
+// ContiguousBlock returns a size-k midplane set forming a compact torus
+// sub-block anchored at the given coordinate — the shape a topology-aware
+// allocator would hand a job. It walks D, then C, then B, then A.
+func ContiguousBlock(anchor Coord, k int) []int {
+	if !anchor.Valid() {
+		panic(fmt.Sprintf("torus: invalid anchor %v", anchor))
+	}
+	if k < 1 || k > topology.NumMidplanes {
+		panic(fmt.Sprintf("torus: block size %d out of range", k))
+	}
+	out := make([]int, 0, k)
+	for a := 0; a < MidplaneDims[0] && len(out) < k; a++ {
+		for b := 0; b < MidplaneDims[1] && len(out) < k; b++ {
+			for cc := 0; cc < MidplaneDims[2] && len(out) < k; cc++ {
+				for d := 0; d < MidplaneDims[3] && len(out) < k; d++ {
+					c := Coord{
+						A: (anchor.A + a) % MidplaneDims[0],
+						B: (anchor.B + b) % MidplaneDims[1],
+						C: (anchor.C + cc) % MidplaneDims[2],
+						D: (anchor.D + d) % MidplaneDims[3],
+					}
+					out = append(out, MidplaneIndex(c))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LinkCount is the number of midplane-grid torus links: each midplane has
+// 2 links per dimension (shared), with dimensions of size 2 collapsing the
+// wrap link onto the direct link.
+func LinkCount() int {
+	links := 0
+	for _, n := range MidplaneDims {
+		// Links along this dimension: one ring per line of midplanes; a
+		// ring of length n has n links, except n == 2 where the two
+		// "directions" are the same physical link.
+		ringLinks := n
+		if n == 2 {
+			ringLinks = 1
+		}
+		lines := topology.NumMidplanes / n
+		links += lines * ringLinks
+	}
+	return links
+}

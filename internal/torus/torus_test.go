@@ -1,0 +1,176 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mira/internal/topology"
+)
+
+func TestDimensionsConsistent(t *testing.T) {
+	if TotalNodes() != topology.TotalNodes {
+		t.Errorf("torus nodes = %d, topology nodes = %d", TotalNodes(), topology.TotalNodes)
+	}
+	// Midplane grid must tile the node torus exactly.
+	for i := 0; i < 4; i++ {
+		if NodeDims[i]%MidplaneBlock[i] != 0 {
+			t.Errorf("dim %d: %d not divisible by %d", i, NodeDims[i], MidplaneBlock[i])
+		}
+		if NodeDims[i]/MidplaneBlock[i] != MidplaneDims[i] {
+			t.Errorf("dim %d: grid %d != %d/%d", i, MidplaneDims[i], NodeDims[i], MidplaneBlock[i])
+		}
+	}
+	if NodeDims[4] != MidplaneBlock[4] {
+		t.Error("E dimension should be fully inside a midplane")
+	}
+	grid := 1
+	for _, d := range MidplaneDims {
+		grid *= d
+	}
+	if grid != topology.NumMidplanes {
+		t.Errorf("midplane grid = %d, want %d", grid, topology.NumMidplanes)
+	}
+	// A midplane block holds exactly 512 nodes.
+	block := 1
+	for _, d := range MidplaneBlock {
+		block *= d
+	}
+	if block != topology.NodesPerMidplane {
+		t.Errorf("midplane block = %d nodes, want %d", block, topology.NodesPerMidplane)
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	f := func(raw uint) bool {
+		m := int(raw % uint(topology.NumMidplanes))
+		c := MidplaneCoord(m)
+		return c.Valid() && MidplaneIndex(c) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoordPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"index out of range": func() { MidplaneCoord(96) },
+		"invalid coord":      func() { MidplaneIndex(Coord{A: 5}) },
+		"bad anchor":         func() { ContiguousBlock(Coord{A: -1}, 4) },
+		"bad block size":     func() { ContiguousBlock(Coord{}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHopDistanceMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := rng.Intn(topology.NumMidplanes)
+		b := rng.Intn(topology.NumMidplanes)
+		c := rng.Intn(topology.NumMidplanes)
+		dab, dba := HopDistance(a, b), HopDistance(b, a)
+		if dab != dba {
+			t.Fatalf("asymmetric distance: %d vs %d", dab, dba)
+		}
+		if (dab == 0) != (a == b) {
+			t.Fatalf("identity violated: d(%d,%d)=%d", a, b, dab)
+		}
+		if HopDistance(a, c) > dab+HopDistance(b, c) {
+			t.Fatalf("triangle inequality violated for %d %d %d", a, b, c)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	// Opposite ends of the D ring (size 4) are 1 hop via wrap... size 4 →
+	// max wrap distance 2; ends 0 and 3 are 1 apart.
+	a := MidplaneIndex(Coord{D: 0})
+	b := MidplaneIndex(Coord{D: 3})
+	if d := HopDistance(a, b); d != 1 {
+		t.Errorf("wrap distance 0..3 on a ring of 4 = %d, want 1", d)
+	}
+	c := MidplaneIndex(Coord{D: 2})
+	if d := HopDistance(a, c); d != 2 {
+		t.Errorf("distance 0..2 on a ring of 4 = %d, want 2", d)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	// Ring radii: 1 + 1 + 2 + 2 = 6.
+	if d := Diameter(); d != 6 {
+		t.Errorf("diameter = %d, want 6", d)
+	}
+}
+
+func TestContiguousBeatsRandomPlacement(t *testing.T) {
+	// The torus design argument: a contiguous partition has far fewer mean
+	// hops than scattering the same job across the machine.
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{4, 8, 16, 32} {
+		block := ContiguousBlock(Coord{}, k)
+		if len(block) != k {
+			t.Fatalf("block size = %d, want %d", len(block), k)
+		}
+		seen := map[int]bool{}
+		for _, m := range block {
+			if seen[m] {
+				t.Fatalf("duplicate midplane %d in block", m)
+			}
+			seen[m] = true
+		}
+		contiguous := MeanPairwiseHops(block)
+		var randomMean float64
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			perm := rng.Perm(topology.NumMidplanes)[:k]
+			randomMean += MeanPairwiseHops(perm)
+		}
+		randomMean /= trials
+		if contiguous >= randomMean {
+			t.Errorf("k=%d: contiguous %.2f should beat random %.2f hops", k, contiguous, randomMean)
+		}
+	}
+}
+
+func TestMeanPairwiseHopsEdge(t *testing.T) {
+	if MeanPairwiseHops(nil) != 0 || MeanPairwiseHops([]int{5}) != 0 {
+		t.Error("degenerate sets should have 0 mean hops")
+	}
+}
+
+func TestContiguousBlockAnchored(t *testing.T) {
+	// An anchored block wraps correctly and still has k members.
+	block := ContiguousBlock(Coord{A: 1, B: 2, C: 3, D: 3}, 96)
+	if len(block) != 96 {
+		t.Fatalf("full-machine block = %d", len(block))
+	}
+	seen := map[int]bool{}
+	for _, m := range block {
+		seen[m] = true
+	}
+	if len(seen) != 96 {
+		t.Error("full block should cover every midplane once")
+	}
+}
+
+func TestLinkCount(t *testing.T) {
+	// Rings: A (size 2): 48 lines × 1 link; B (3): 32 × 3; C (4): 24 × 4;
+	// D (4): 24 × 4 → 48 + 96 + 96 + 96 = 336.
+	if got := LinkCount(); got != 336 {
+		t.Errorf("LinkCount = %d, want 336", got)
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	if s := (Coord{1, 2, 3, 0}).String(); s != "<1,2,3,0>" {
+		t.Errorf("Coord.String = %q", s)
+	}
+}

@@ -1,0 +1,119 @@
+package mira
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mira/internal/timeutil"
+)
+
+// TestStudyFacade exercises the public API end to end on a short window.
+func TestStudyFacade(t *testing.T) {
+	db := &EnvDB{Downsample: 12}
+	study, err := RunStudy(StudyConfig{
+		Seed:               5,
+		Start:              time.Date(2016, 8, 1, 0, 0, 0, 0, timeutil.Chicago),
+		End:                time.Date(2016, 10, 1, 0, 0, 0, 0, timeutil.Chicago),
+		TelemetryDB:        db,
+		LocationFrameEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Error("telemetry DB should receive samples")
+	}
+	if study.Step() != SampleInterval {
+		t.Errorf("default step = %v", study.Step())
+	}
+
+	// Every figure method returns sane values on a partial window.
+	if fig := study.Fig3CoolantTimeline(); fig.FlowAfterTheta < 1250 {
+		t.Errorf("post-Theta flow = %v", fig.FlowAfterTheta)
+	}
+	if fig := study.Fig6RackPowerUtil(); math.IsNaN(fig.Correlation) {
+		t.Error("correlation should be defined")
+	}
+	if fig := study.Fig10CMFPerYear(); fig.Total == 0 {
+		t.Error("the Theta surge window should contain failures")
+	}
+	if fig := study.Fig12LeadUp(); fig.Windows == 0 {
+		t.Error("lead-up windows should be captured")
+	}
+	if len(study.Incidents()) == 0 || len(study.PositiveWindows()) == 0 {
+		t.Error("incidents and positive windows expected")
+	}
+	if study.Log().Len() == 0 {
+		t.Error("RAS log should be populated")
+	}
+
+	// Train a predictor through the facade and check it discriminates.
+	p, err := study.TrainPredictor(time.Hour, PredictorConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := study.BuildPredictorDataset(time.Hour, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := p.Evaluate(ds)
+	if conf.Accuracy() < 0.8 {
+		t.Errorf("facade-trained predictor accuracy = %v", conf.Accuracy())
+	}
+
+	// The extension studies run through the facade too.
+	loc, err := study.EvaluateLocation(p, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Evaluated == 0 || loc.Top3 <= 0 {
+		t.Errorf("location report empty: %+v", loc)
+	}
+	mit, err := study.EvaluateMitigation(p, MitigationConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mit.SavingsVsPeriodic() <= 0 {
+		t.Errorf("mitigation should save compute: %v", mit)
+	}
+}
+
+func TestEvaluateLocationWithoutFrames(t *testing.T) {
+	study, err := RunStudy(StudyConfig{
+		Seed:  6,
+		Start: time.Date(2016, 8, 1, 0, 0, 0, 0, timeutil.Chicago),
+		End:   time.Date(2016, 8, 8, 0, 0, 0, 0, timeutil.Chicago),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := study.EvaluateLocation(nil, 0.9); err == nil {
+		t.Error("location evaluation without frames should error")
+	}
+}
+
+func TestRunStudyEmptyWindow(t *testing.T) {
+	_, err := RunStudy(StudyConfig{Seed: 1, Start: ProductionStart, End: ProductionStart})
+	if err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestFreeCoolingConstants(t *testing.T) {
+	if d := FreeCoolingSavingsPerDay(); math.Abs(d-17820) > 100 {
+		t.Errorf("daily savings = %v, want ≈17,820 kWh", d)
+	}
+	if s := FreeCoolingSavingsPerSeason(); math.Abs(s-2174040) > 13000 {
+		t.Errorf("seasonal savings = %v, want ≈2,174,040 kWh", s)
+	}
+}
+
+func TestProductionConstants(t *testing.T) {
+	if ProductionStart.Year() != 2014 || ProductionEnd.Year() != 2020 {
+		t.Error("production window constants wrong")
+	}
+	if SampleInterval != 300*time.Second {
+		t.Error("sample interval should be 300 s")
+	}
+}
