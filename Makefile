@@ -1,0 +1,26 @@
+# Tier-1 verification entry point: `make check` runs exactly what CI and
+# the roadmap expect before a change lands.
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race is the tier-1 test gate: the tsdb engine is exercised by a
+# concurrent ingest+query test that only means something under -race.
+race:
+	$(GO) test -race ./...
+
+# bench reports tsdb ingest throughput, compressed bytes/sample, and
+# range-query scan performance (serial vs parallel).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/tsdb/

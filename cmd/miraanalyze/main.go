@@ -19,10 +19,10 @@ import (
 
 	"mira"
 	"mira/internal/analysis"
-	"mira/internal/envdb"
 	"mira/internal/ras"
 	"mira/internal/report"
 	"mira/internal/topology"
+	"mira/internal/tsdb"
 )
 
 func main() {
@@ -123,11 +123,14 @@ func analyzeOffline(path string) {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	db := envdb.NewStore()
+	db := tsdb.NewStore()
 	if err := db.ImportCSV(f); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("loaded %d telemetry records from %s\n\n", db.Len(), path)
+	db.SealAll()
+	st := db.Stats()
+	fmt.Printf("loaded %d telemetry records from %s (%.1f MiB compressed, %.2f B/sample)\n\n",
+		db.Len(), path, float64(st.SealedBytes)/(1<<20), st.BytesPerSample)
 	c := analysis.CollectFromStore(db)
 
 	fig3 := c.Fig3CoolantTimeline()

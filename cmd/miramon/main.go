@@ -20,6 +20,7 @@ import (
 	"mira/internal/sim"
 	"mira/internal/timeutil"
 	"mira/internal/topology"
+	"mira/internal/tsdb"
 	"mira/internal/units"
 )
 
@@ -108,8 +109,16 @@ func main() {
 	// report the watch window.
 	w2 := &gate{inner: w, from: watchStart}
 	s.AddRecorder(w2)
+	// Keep the watched telemetry queryable in the compressed store so the
+	// summary can aggregate it without re-running the simulation.
+	db := tsdb.NewStore()
+	dbRec := sim.NewEnvDBRecorder(db)
+	s.AddRecorder(&gate{inner: dbRec, from: watchStart})
 	if err := s.Run(); err != nil {
 		log.Fatal(err)
+	}
+	if dbRec.Err != nil {
+		log.Fatalf("telemetry recording: %v", dbRec.Err)
 	}
 
 	for _, e := range w.events {
@@ -119,6 +128,19 @@ func main() {
 		w.warnings, w.alerts, len(s.Incidents()))
 	fmt.Println("threshold alarms fire when limits are already crossed; the NN flags the")
 	fmt.Println("characteristic telemetry *changes* hours earlier (paper §VI-D).")
+
+	db.SealAll()
+	st := db.Stats()
+	fmt.Printf("\ntelemetry retained: %d samples, %.2f MiB compressed (%.2f B/sample)\n",
+		db.Len(), float64(st.SealedBytes)/(1<<20), st.BytesPerSample)
+	hot := topology.RackID{Row: 1, Col: 8} // the paper's humidity hotspot
+	fmt.Printf("rack %v inlet °F by week (min / mean / max, aggregation pushdown):\n", hot)
+	for _, agg := range db.Aggregate(hot, sensors.MetricInletTemp, watchStart, watchEnd, 7*24*time.Hour) {
+		if agg.Count == 0 {
+			continue
+		}
+		fmt.Printf("  wk %s  %6.2f / %6.2f / %6.2f\n", agg.Start.Format("2006-01-02"), agg.Min, agg.Mean(), agg.Max)
+	}
 }
 
 // gate forwards recorder callbacks only after a cutoff time.

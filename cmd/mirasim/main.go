@@ -16,9 +16,9 @@ import (
 	"os"
 	"time"
 
-	"mira/internal/envdb"
 	"mira/internal/sim"
 	"mira/internal/timeutil"
+	"mira/internal/tsdb"
 	"mira/internal/workload"
 )
 
@@ -31,7 +31,7 @@ func main() {
 		startStr   = flag.String("start", "2014-01-01", "window start (YYYY-MM-DD)")
 		endStr     = flag.String("end", "2020-01-01", "window end, exclusive (YYYY-MM-DD)")
 		step       = flag.Duration("step", timeutil.SampleInterval, "tick length")
-		downsample = flag.Int("downsample", 12, "keep 1 of every N telemetry samples in the export")
+		downsample = flag.Int("downsample", 1, "keep 1 of every N telemetry samples (1 = full rate; the compressed tsdb engine holds full six-year runs in memory)")
 		telemetry  = flag.String("telemetry", "", "write telemetry CSV to this file")
 		rasOut     = flag.String("ras", "", "write the deduplicated failure log to this file")
 	)
@@ -46,7 +46,7 @@ func main() {
 		log.Fatalf("bad -end: %v", err)
 	}
 
-	db := envdb.NewDownsampledStore(*downsample)
+	db := tsdb.NewStoreWith(tsdb.Options{Downsample: *downsample})
 	rec := sim.NewEnvDBRecorder(db)
 	s := sim.New(sim.Config{Seed: *seed, Start: start, End: end, Step: *step})
 	s.AddRecorder(rec)
@@ -63,7 +63,10 @@ func main() {
 	cmfs := s.Log().DedupCMF()
 	nonCMF := s.Log().DedupNonCMF()
 	fmt.Printf("simulated %s .. %s at step %v in %v\n", start.Format("2006-01-02"), end.Format("2006-01-02"), *step, elapsed.Round(time.Millisecond))
-	fmt.Printf("telemetry samples stored: %d (1 of every %d)\n", db.Len(), *downsample)
+	db.SealAll()
+	st := db.Stats()
+	fmt.Printf("telemetry samples stored: %d (1 of every %d) in %.1f MiB compressed (%.2f B/record, %.2f B/sample)\n",
+		db.Len(), *downsample, float64(st.SealedBytes+st.HeadBytes)/(1<<20), st.BytesPerRecord, st.BytesPerSample)
 	fmt.Printf("RAS events logged: %d raw\n", s.Log().Len())
 	fmt.Printf("coolant monitor failures (deduplicated): %d across %d incidents\n", len(cmfs), len(s.Incidents()))
 	fmt.Printf("non-CMF fatal failures (deduplicated): %d\n", len(nonCMF))

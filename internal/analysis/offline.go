@@ -9,13 +9,14 @@ import (
 	"mira/internal/units"
 )
 
-// CollectFromStore replays an environmental database (e.g. telemetry
-// re-imported from a mirasim CSV export) through a Collector, enabling
-// offline analysis of exported traces. System power is reconstructed as the
-// sum of rack powers per tick; utilization is unavailable offline, so the
+// CollectFromStore replays an environmental database (the slice-backed
+// envdb.Store or the compressed tsdb.Store, e.g. telemetry re-imported from
+// a mirasim CSV export) through a Collector, enabling offline analysis of
+// exported traces. System power is reconstructed as the sum of rack powers
+// per tick; utilization is unavailable offline, so the
 // utilization-dependent panels of Figs. 2, 4–6 read NaN while every
 // coolant/ambient figure (3, 7, 8, 9) is fully usable.
-func CollectFromStore(db *envdb.Store) *Collector {
+func CollectFromStore(db envdb.DB) *Collector {
 	c := NewCollector()
 	// Records are stored rack-major; group them into ticks by timestamp.
 	byTick := make(map[time.Time][]sensors.Record)

@@ -1,8 +1,10 @@
 // Package envdb is the environmental database of the digital twin — the
 // stand-in for the IBM DB2 environmental database that stored Mira's
-// coolant-monitor samples. It provides an append-only, time-ordered store
-// with rack/time-range/metric queries, optional downsampling on ingest, and
-// CSV import/export so simulated telemetry can be inspected and shared.
+// coolant-monitor samples. It defines the telemetry-store surface (DB) that
+// the simulator records into and the analyses query, the CSV interchange
+// schema, and a simple slice-backed in-memory implementation (Store). The
+// compressed, concurrent production engine lives in mira/internal/tsdb and
+// implements the same DB surface.
 package envdb
 
 import (
@@ -18,8 +20,45 @@ import (
 	"mira/internal/units"
 )
 
-// Store is an in-memory environmental database. It is not safe for
-// concurrent use; the simulator feeds it from a single goroutine.
+// DB is the environmental-database surface shared by the slice-backed
+// Store and the compressed tsdb.Store: ordered ingest, rack/time-range
+// queries, single-metric series extraction, full scans with early stop,
+// and CSV interchange.
+type DB interface {
+	// Append ingests one record; records must arrive in non-decreasing
+	// time order per rack (equal timestamps are allowed).
+	Append(r sensors.Record) error
+	// Len returns the number of stored records across all racks.
+	Len() int
+	// Query returns one rack's records with timestamps in [from, to).
+	Query(rack topology.RackID, from, to time.Time) []sensors.Record
+	// Series extracts one metric for one rack over [from, to).
+	Series(rack topology.RackID, m sensors.Metric, from, to time.Time) ([]time.Time, []float64)
+	// EachRecord visits every record, rack-major, time order within rack.
+	EachRecord(f func(sensors.Record))
+	// EachRecordUntil visits records like EachRecord but stops early when
+	// f returns false.
+	EachRecordUntil(f func(sensors.Record) bool)
+	// ExportCSV writes all records in the csvHeader schema.
+	ExportCSV(w io.Writer) error
+	// ImportCSV reads records in the csvHeader schema.
+	ImportCSV(r io.Reader) error
+}
+
+// Appender is the minimal ingest surface ReadCSV needs.
+type Appender interface {
+	Append(r sensors.Record) error
+}
+
+// RecordVisitor is the minimal scan surface WriteCSV needs.
+type RecordVisitor interface {
+	EachRecordUntil(f func(sensors.Record) bool)
+}
+
+// Store is a plain in-memory environmental database backed by one record
+// slice per rack. It is not safe for concurrent use (use tsdb.Store for
+// concurrent ingest and scans); the simulator feeds it from a single
+// goroutine.
 type Store struct {
 	// records per rack, in append (time) order.
 	records [topology.NumRacks][]sensors.Record
@@ -28,6 +67,8 @@ type Store struct {
 	Downsample int
 	counter    [topology.NumRacks]int
 }
+
+var _ DB = (*Store)(nil)
 
 // NewStore creates an empty store keeping every sample.
 func NewStore() *Store { return &Store{} }
@@ -89,9 +130,18 @@ func (s *Store) Series(rack topology.RackID, m sensors.Metric, from, to time.Tim
 // EachRecord visits every stored record (rack-major, time order within
 // rack). The callback must not retain the record slice.
 func (s *Store) EachRecord(f func(sensors.Record)) {
+	s.EachRecordUntil(func(r sensors.Record) bool { f(r); return true })
+}
+
+// EachRecordUntil visits records like EachRecord but stops as soon as f
+// returns false, so consumers (e.g. CSV export hitting a write error) don't
+// iterate millions of remaining records for nothing.
+func (s *Store) EachRecordUntil(f func(sensors.Record) bool) {
 	for i := range s.records {
 		for _, r := range s.records[i] {
-			f(r)
+			if !f(r) {
+				return
+			}
 		}
 	}
 }
@@ -100,16 +150,20 @@ func (s *Store) EachRecord(f func(sensors.Record)) {
 var csvHeader = []string{"time", "rack", "dc_temperature_f", "dc_humidity_rh", "coolant_flow_gpm", "inlet_temp_f", "outlet_temp_f", "power_w"}
 
 // ExportCSV writes all records (rack-major) as CSV.
-func (s *Store) ExportCSV(w io.Writer) error {
+func (s *Store) ExportCSV(w io.Writer) error { return WriteCSV(w, s) }
+
+// ImportCSV reads records in the ExportCSV schema into the store.
+func (s *Store) ImportCSV(r io.Reader) error { return ReadCSV(r, s) }
+
+// WriteCSV writes every record of db in the csvHeader schema. The scan
+// stops at the first write error instead of visiting the remaining records.
+func WriteCSV(w io.Writer, db RecordVisitor) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("envdb: writing header: %w", err)
 	}
 	var err error
-	s.EachRecord(func(r sensors.Record) {
-		if err != nil {
-			return
-		}
+	db.EachRecordUntil(func(r sensors.Record) bool {
 		row := []string{
 			r.Time.UTC().Format(time.RFC3339),
 			r.Rack.String(),
@@ -121,6 +175,7 @@ func (s *Store) ExportCSV(w io.Writer) error {
 			strconv.FormatFloat(float64(r.Power), 'f', 1, 64),
 		}
 		err = cw.Write(row)
+		return err == nil
 	})
 	if err != nil {
 		return fmt.Errorf("envdb: writing rows: %w", err)
@@ -129,8 +184,10 @@ func (s *Store) ExportCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ImportCSV reads records in the ExportCSV schema into the store.
-func (s *Store) ImportCSV(r io.Reader) error {
+// ReadCSV reads records in the csvHeader schema into dst. The header must
+// match the schema column for column: a reordered or renamed column would
+// otherwise silently parse values into the wrong channels.
+func ReadCSV(r io.Reader, dst Appender) error {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
@@ -138,6 +195,11 @@ func (s *Store) ImportCSV(r io.Reader) error {
 	}
 	if len(header) != len(csvHeader) {
 		return fmt.Errorf("envdb: unexpected header %v", header)
+	}
+	for i, name := range csvHeader {
+		if header[i] != name {
+			return fmt.Errorf("envdb: header column %d is %q, want %q", i+1, header[i], name)
+		}
 	}
 	for line := 2; ; line++ {
 		row, err := cr.Read()
@@ -151,7 +213,7 @@ func (s *Store) ImportCSV(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("envdb: line %d: %w", line, err)
 		}
-		if err := s.Append(rec); err != nil {
+		if err := dst.Append(rec); err != nil {
 			return fmt.Errorf("envdb: line %d: %w", line, err)
 		}
 	}

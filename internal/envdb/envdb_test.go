@@ -2,6 +2,7 @@ package envdb
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -169,6 +170,87 @@ func TestImportCSVErrors(t *testing.T) {
 	bad3 := strings.Join(csvHeader, ",") + "\n2015-01-01T00:00:00Z,(0,0),x,2,3,4,5,6\n"
 	if err := s.ImportCSV(strings.NewReader(bad3)); err == nil {
 		t.Error("bad value should fail")
+	}
+}
+
+// TestImportCSVReorderedHeader: a column-reordered CSV must be rejected,
+// not silently parsed into the wrong channels.
+func TestImportCSVReorderedHeader(t *testing.T) {
+	reordered := []string{"time", "rack", "dc_humidity_rh", "dc_temperature_f", "coolant_flow_gpm", "inlet_temp_f", "outlet_temp_f", "power_w"}
+	csv := strings.Join(reordered, ",") + "\n2015-01-01T00:00:00Z,(0,0),32.000,80.000,26.500,64.000,79.000,57000.0\n"
+	s := NewStore()
+	err := s.ImportCSV(strings.NewReader(csv))
+	if err == nil {
+		t.Fatal("reordered header should fail")
+	}
+	if !strings.Contains(err.Error(), "dc_temperature_f") {
+		t.Errorf("error should name the mismatched column: %v", err)
+	}
+	// A renamed column fails too.
+	renamed := strings.Replace(strings.Join(csvHeader, ","), "power_w", "power_kw", 1)
+	if err := s.ImportCSV(strings.NewReader(renamed + "\n")); err == nil {
+		t.Error("renamed column should fail")
+	}
+}
+
+func TestEachRecordUntil(t *testing.T) {
+	s := NewStore()
+	for i, r := range topology.AllRacks() {
+		if err := s.Append(rec(r, base, 64+float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visited := 0
+	s.EachRecordUntil(func(sensors.Record) bool {
+		visited++
+		return visited < 5
+	})
+	if visited != 5 {
+		t.Errorf("EachRecordUntil visited %d, want 5", visited)
+	}
+}
+
+// failWriter errors on every write.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// countingVisitor counts how many records WriteCSV pulls from the store.
+type countingVisitor struct {
+	db      *Store
+	visited int
+}
+
+func (c *countingVisitor) EachRecordUntil(f func(sensors.Record) bool) {
+	c.db.EachRecordUntil(func(r sensors.Record) bool {
+		c.visited++
+		return f(r)
+	})
+}
+
+// TestExportCSVEarlyStop: once the writer fails, the export must stop
+// visiting records instead of iterating the whole store. The csv.Writer
+// buffers ~4 KiB, so the error surfaces after a few dozen rows — far fewer
+// than the thousands stored.
+func TestExportCSVEarlyStop(t *testing.T) {
+	s := NewStore()
+	r := topology.RackID{Row: 0, Col: 2}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := s.Append(rec(r, base.Add(time.Duration(i)*timeutil.SampleInterval), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cv := &countingVisitor{db: s}
+	err := WriteCSV(failWriter{}, cv)
+	if err == nil {
+		t.Fatal("export to a failing writer should error")
+	}
+	if cv.visited >= n {
+		t.Errorf("export visited all %d records despite the write error", cv.visited)
+	}
+	if cv.visited == 0 {
+		t.Error("export visited no records (buffered writer should accept some rows first)")
 	}
 }
 

@@ -149,17 +149,18 @@ func (r *IncidentWindowRecorder) cmfWithin(rack topology.RackID, t time.Time, ho
 	return false
 }
 
-// EnvDBRecorder streams samples into an environmental database.
+// EnvDBRecorder streams samples into an environmental database — the
+// slice-backed envdb.Store or the compressed, concurrent tsdb.Store.
 type EnvDBRecorder struct {
 	NopRecorder
-	DB *envdb.Store
+	DB envdb.DB
 	// Err records the first append failure (out-of-order data would be a
 	// simulator bug).
 	Err error
 }
 
 // NewEnvDBRecorder wraps a store.
-func NewEnvDBRecorder(db *envdb.Store) *EnvDBRecorder { return &EnvDBRecorder{DB: db} }
+func NewEnvDBRecorder(db envdb.DB) *EnvDBRecorder { return &EnvDBRecorder{DB: db} }
 
 // OnSample appends to the store.
 func (r *EnvDBRecorder) OnSample(rec sensors.Record) {

@@ -1,0 +1,115 @@
+package tsdb
+
+import (
+	"math"
+
+	"mira/internal/sensors"
+)
+
+// Channel encodings of a sealed block.
+const (
+	encInt byte = iota + 1 // zigzag-varbit deltas of decimal-quantized integers
+	encXOR                 // Gorilla XOR of raw float64 bits
+)
+
+// maxQuantized bounds quantized magnitudes to the float64-exact integer
+// range; larger values fall back to XOR encoding.
+const maxQuantized = 1 << 53
+
+// channelData is one compressed value column of a sealed block.
+type channelData struct {
+	enc   byte
+	scale float64 // 10^decimals, valid when enc == encInt
+	data  []byte
+}
+
+// sealedBlock is an immutable, compressed run of one rack's samples. All
+// fields are written once at seal time; concurrent readers decode without
+// locks.
+type sealedBlock struct {
+	minT, maxT int64 // unix nanoseconds of the first/last sample
+	count      int
+	times      []byte
+	ch         [sensors.NumMetrics]channelData
+}
+
+// headBlock is the mutable in-progress partition of a shard: plain columnar
+// slices, appended under the shard's write lock. Readers snapshot the slice
+// headers under the read lock; appends only ever write past the snapshotted
+// length (or reallocate), so snapshots stay immutable.
+type headBlock struct {
+	partition int64 // partition index = floor(unixnano / partition length)
+	times     []int64
+	vals      [sensors.NumMetrics][]float64
+}
+
+// sealHead compresses a non-empty head block. Channels whose values survive
+// an exact quantize/dequantize round trip at the store's decimal scale use
+// the integer delta encoding (~2 bytes/value on noisy sensor data); the
+// rest — including channels configured for raw precision — use Gorilla XOR.
+func sealHead(h *headBlock, scales [sensors.NumMetrics]float64) *sealedBlock {
+	b := &sealedBlock{
+		minT:  h.times[0],
+		maxT:  h.times[len(h.times)-1],
+		count: len(h.times),
+		times: encodeTimes(h.times),
+	}
+	for m := range h.vals {
+		b.ch[m] = encodeChannel(h.vals[m], scales[m])
+	}
+	return b
+}
+
+func encodeChannel(vals []float64, scale float64) channelData {
+	if scale > 0 {
+		if ints, ok := quantizeExact(vals, scale); ok {
+			return channelData{enc: encInt, scale: scale, data: encodeInts(ints)}
+		}
+	}
+	return channelData{enc: encXOR, data: encodeXOR(vals)}
+}
+
+// quantizeExact converts values to scaled integers, reporting whether the
+// conversion is invertible bit-for-bit (it is whenever the values were
+// quantized at the same scale on ingest).
+func quantizeExact(vals []float64, scale float64) ([]int64, bool) {
+	ints := make([]int64, len(vals))
+	for i, v := range vals {
+		n := math.Round(v * scale)
+		if math.IsNaN(n) || n >= maxQuantized || n <= -maxQuantized {
+			return nil, false
+		}
+		iv := int64(n)
+		if float64(iv)/scale != v {
+			return nil, false
+		}
+		ints[i] = iv
+	}
+	return ints, true
+}
+
+func (b *sealedBlock) decodeTimes() []int64 { return decodeTimes(b.times, b.count) }
+
+// decodeChannel materializes one value column — the unit of decompression
+// work, so single-metric reads (Series, Aggregate) skip five sixths of it.
+func (b *sealedBlock) decodeChannel(m sensors.Metric) []float64 {
+	c := b.ch[m]
+	if c.enc == encXOR {
+		return decodeXOR(c.data, b.count)
+	}
+	ints := decodeInts(c.data, b.count)
+	out := make([]float64, len(ints))
+	for i, n := range ints {
+		out[i] = float64(n) / c.scale
+	}
+	return out
+}
+
+// payloadBytes is the compressed size of the block's streams.
+func (b *sealedBlock) payloadBytes() int64 {
+	n := int64(len(b.times))
+	for m := range b.ch {
+		n += int64(len(b.ch[m].data))
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBitStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := &bitWriter{}
+	type field struct {
+		v uint64
+		n uint
+	}
+	var fields []field
+	for i := 0; i < 5000; i++ {
+		n := uint(rng.Intn(64) + 1)
+		v := rng.Uint64()
+		if n < 64 {
+			v &= 1<<n - 1
+		}
+		fields = append(fields, field{v, n})
+		w.writeBits(v, n)
+	}
+	r := &bitReader{b: w.bytes()}
+	for i, f := range fields {
+		if got := r.readBits(f.n); got != f.v {
+			t.Fatalf("field %d: read %d, want %d (%d bits)", i, got, f.v, f.n)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), math.MaxInt64, math.MinInt64} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+	// Small magnitudes must map to small codes.
+	if zigzag(0) != 0 || zigzag(-1) != 1 || zigzag(1) != 2 {
+		t.Errorf("zigzag ordering broken: %d %d %d", zigzag(0), zigzag(-1), zigzag(1))
+	}
+}
+
+func TestVarbitRoundTrip(t *testing.T) {
+	var vals []uint64
+	// Bucket boundaries and random values.
+	for _, size := range varbitSizes {
+		if size < 64 {
+			vals = append(vals, 1<<size-1, 1<<size)
+		}
+	}
+	vals = append(vals, 0, 1, 2, math.MaxUint64)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		vals = append(vals, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	w := &bitWriter{}
+	for _, v := range vals {
+		writeVarbit(w, v)
+	}
+	r := &bitReader{b: w.bytes()}
+	for i, v := range vals {
+		if got := readVarbit(r); got != v {
+			t.Fatalf("value %d: read %d, want %d", i, got, v)
+		}
+	}
+}
+
+func TestTimesCodec(t *testing.T) {
+	cases := map[string][]int64{
+		"empty":     {},
+		"single":    {1234567890123456789},
+		"regular":   {0, 300e9, 600e9, 900e9, 1200e9},
+		"jittered":  {0, 300e9, 601e9, 899e9, 1200e9, 1200e9}, // incl. duplicate
+		"negative":  {-900e9, -600e9, -300e9, 0},
+		"irregular": {5, 7, 1 << 50, 1<<50 + 1},
+	}
+	for name, ts := range cases {
+		buf := encodeTimes(ts)
+		got := decodeTimes(buf, len(ts))
+		for i := range ts {
+			if got[i] != ts[i] {
+				t.Errorf("%s: ts[%d] = %d, want %d", name, i, got[i], ts[i])
+			}
+		}
+	}
+	// A fixed cadence must cost ~1 bit per timestamp after the first two.
+	n := 8640
+	ts := make([]int64, n)
+	for i := range ts {
+		ts[i] = int64(i) * 300e9
+	}
+	if got := len(encodeTimes(ts)); got > 8+9+n/8+2 {
+		t.Errorf("regular cadence compressed to %d bytes for %d timestamps", got, n)
+	}
+}
+
+func TestIntsCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := []int64{64250, 0, -1, math.MaxInt64 / 2, math.MinInt64 / 2}
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, vals[len(vals)-1]+int64(rng.NormFloat64()*300))
+	}
+	buf := encodeInts(vals)
+	got := decodeInts(buf, len(vals))
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("ints[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestXORCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, math.Pi,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		64.0, 64.0, 64.0, // repeats: the one-bit path
+	}
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, 64+rng.NormFloat64()*0.1)
+	}
+	buf := encodeXOR(vals)
+	got := decodeXOR(buf, len(vals))
+	for i := range vals {
+		want := math.Float64bits(vals[i])
+		if math.Float64bits(got[i]) != want {
+			t.Fatalf("xor[%d] = %x, want %x", i, math.Float64bits(got[i]), want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package tsdb
+
+import (
+	"math"
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/topology"
+	"mira/internal/units"
+)
+
+// Iter is a streaming cursor over one rack's records in [from, to). It
+// decompresses one block at a time against a point-in-time snapshot, so
+// scans run without holding locks and without materializing the range.
+type Iter struct {
+	rack   topology.RackID
+	loc    *time.Location
+	fromN  int64
+	toN    int64
+	blocks []blockView
+
+	bi    int
+	times []int64
+	cols  [sensors.NumMetrics][]float64
+	pos   int
+	hi    int
+	cur   sensors.Record
+}
+
+// Iter returns a streaming iterator over one rack's records in [from, to).
+func (s *Store) Iter(rack topology.RackID, from, to time.Time) *Iter {
+	s.init()
+	return s.iterShard(rack, &s.shards[rack.Index()], from.UnixNano(), to.UnixNano())
+}
+
+func (s *Store) iterShard(rack topology.RackID, sh *shard, fromN, toN int64) *Iter {
+	snap := sh.snapshot()
+	return &Iter{
+		rack:   rack,
+		loc:    s.location(),
+		fromN:  fromN,
+		toN:    toN,
+		blocks: snap.blocks(),
+		pos:    1, // forces block advance on the first Next
+		hi:     0,
+	}
+}
+
+// Next advances the cursor; it returns false when the range is exhausted.
+func (it *Iter) Next() bool {
+	for it.pos+1 >= it.hi {
+		if !it.nextBlock() {
+			return false
+		}
+	}
+	it.pos++
+	it.fill()
+	return true
+}
+
+// nextBlock decodes the next block overlapping the range; false when none.
+func (it *Iter) nextBlock() bool {
+	for ; it.bi < len(it.blocks); it.bi++ {
+		bv := it.blocks[it.bi]
+		minT, maxT := bv.bounds()
+		if maxT < it.fromN || minT >= it.toN {
+			continue
+		}
+		times := bv.timestamps()
+		lo, hi := searchRange(times, it.fromN, it.toN)
+		if lo >= hi {
+			continue
+		}
+		it.times = times
+		for m := range it.cols {
+			it.cols[m] = bv.channel(sensors.Metric(m))
+		}
+		it.pos = lo - 1
+		it.hi = hi
+		it.bi++
+		return true
+	}
+	return false
+}
+
+func (it *Iter) fill() {
+	i := it.pos
+	it.cur = sensors.Record{
+		Time:          time.Unix(0, it.times[i]).In(it.loc),
+		Rack:          it.rack,
+		DCTemperature: units.Fahrenheit(it.cols[sensors.MetricDCTemperature][i]),
+		DCHumidity:    units.RelativeHumidity(it.cols[sensors.MetricDCHumidity][i]),
+		Flow:          units.GPM(it.cols[sensors.MetricFlow][i]),
+		InletTemp:     units.Fahrenheit(it.cols[sensors.MetricInletTemp][i]),
+		OutletTemp:    units.Fahrenheit(it.cols[sensors.MetricOutletTemp][i]),
+		Power:         units.Watts(it.cols[sensors.MetricPower][i]),
+	}
+}
+
+// Record returns the record at the cursor; valid after Next returns true.
+func (it *Iter) Record() sensors.Record { return it.cur }
+
+// WindowAgg is one aggregation window of Store.Aggregate.
+type WindowAgg struct {
+	// Start is the window's inclusive start; the window spans one Aggregate
+	// window length.
+	Start time.Time
+	// Count is the number of samples that fell in the window.
+	Count int
+	// Min, Max, Sum summarize the metric over the window (Min/Max are NaN
+	// when Count is zero).
+	Min, Max, Sum float64
+}
+
+// Mean is Sum/Count, NaN for an empty window.
+func (w WindowAgg) Mean() float64 {
+	if w.Count == 0 {
+		return math.NaN()
+	}
+	return w.Sum / float64(w.Count)
+}
+
+// Aggregate computes min/max/sum/count of one metric per fixed window over
+// [from, to) — aggregation pushdown: only the metric's compressed column is
+// decoded, block by block, and no records are materialized. Windows are
+// aligned to from; a non-positive window yields a single window spanning
+// the whole range. Empty windows are included with Count 0.
+func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) []WindowAgg {
+	s.init()
+	fromN, toN := from.UnixNano(), to.UnixNano()
+	if toN <= fromN {
+		return nil
+	}
+	winN := int64(window)
+	if winN <= 0 {
+		winN = toN - fromN
+	}
+	nWin := int((toN - fromN + winN - 1) / winN)
+	loc := s.location()
+	out := make([]WindowAgg, nWin)
+	for k := range out {
+		out[k] = WindowAgg{
+			Start: time.Unix(0, fromN+int64(k)*winN).In(loc),
+			Min:   math.NaN(),
+			Max:   math.NaN(),
+		}
+	}
+	snap := s.shards[rack.Index()].snapshot()
+	for _, bv := range snap.blocks() {
+		minT, maxT := bv.bounds()
+		if maxT < fromN || minT >= toN {
+			continue
+		}
+		ts := bv.timestamps()
+		lo, hi := searchRange(ts, fromN, toN)
+		if lo >= hi {
+			continue
+		}
+		col := bv.channel(m)
+		for i := lo; i < hi; i++ {
+			w := &out[(ts[i]-fromN)/winN]
+			v := col[i]
+			if w.Count == 0 || v < w.Min {
+				w.Min = v
+			}
+			if w.Count == 0 || v > w.Max {
+				w.Max = v
+			}
+			w.Sum += v
+			w.Count++
+		}
+	}
+	return out
+}

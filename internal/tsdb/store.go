@@ -1,0 +1,401 @@
+package tsdb
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mira/internal/envdb"
+	"mira/internal/sensors"
+	"mira/internal/topology"
+)
+
+// DefaultPartition is the time span of one block: 30 days ≈ 8640 samples at
+// the coolant monitor's 300 s cadence.
+const DefaultPartition = 30 * 24 * time.Hour
+
+// Options configures a Store.
+type Options struct {
+	// Partition is the block length (default 30 days). Sealed blocks carry
+	// their time bounds, so range queries skip whole partitions.
+	Partition time.Duration
+	// Precision is the per-channel decimal quantization applied on ingest:
+	// 0 selects the channel's default (the CSV export schema: 3 decimals,
+	// 1 for power), positive values override it, and negative values keep
+	// raw float64 bits (sealed with XOR encoding instead of integer deltas).
+	Precision [sensors.NumMetrics]int
+	// Downsample keeps only every Nth sample per rack (0 or 1 = keep all).
+	// Retained for drop-in compatibility with envdb.Store; compression makes
+	// full-rate six-year runs fit in memory, so the default keeps all.
+	Downsample int
+}
+
+// defaultDecimals mirrors the envdb CSV export schema, so ingest
+// quantization never discards information that survives an export anyway.
+func defaultDecimals(m sensors.Metric) int {
+	if m == sensors.MetricPower {
+		return 1
+	}
+	return 3
+}
+
+// shard holds one rack's blocks. The RWMutex guards the block list and the
+// head's slice headers; sealed blocks and snapshotted head prefixes are
+// immutable, so readers decode outside the lock.
+type shard struct {
+	mu      sync.RWMutex
+	sealed  []*sealedBlock
+	head    *headBlock
+	lastT   int64
+	hasLast bool
+	counter int
+	total   int
+}
+
+// Store is a sharded, compressed, concurrent environmental database: one
+// shard per rack, Gorilla-compressed sealed blocks plus a mutable head
+// block per shard. It satisfies envdb.DB, so it is a drop-in replacement
+// for the slice-backed envdb.Store anywhere telemetry is recorded or
+// queried. The zero value is ready to use with default Options.
+type Store struct {
+	opts      Options
+	scales    [sensors.NumMetrics]float64 // 10^decimals; 0 = raw (XOR)
+	partNanos int64
+	once      sync.Once
+	loc       atomic.Pointer[time.Location]
+	shards    [topology.NumRacks]shard
+}
+
+var _ envdb.DB = (*Store)(nil)
+
+// NewStore creates a store with default options: 30-day partitions,
+// CSV-schema precision, no downsampling.
+func NewStore() *Store { return NewStoreWith(Options{}) }
+
+// NewStoreWith creates a store with explicit options.
+func NewStoreWith(o Options) *Store {
+	s := &Store{opts: o}
+	s.init()
+	return s
+}
+
+// NewRawStore creates a store that preserves raw float64 bits on every
+// channel (XOR-compressed; larger, but bit-lossless for unquantized data).
+func NewRawStore() *Store {
+	var o Options
+	for m := range o.Precision {
+		o.Precision[m] = -1
+	}
+	return NewStoreWith(o)
+}
+
+func (s *Store) init() {
+	s.once.Do(func() {
+		if s.opts.Partition <= 0 {
+			s.opts.Partition = DefaultPartition
+		}
+		s.partNanos = int64(s.opts.Partition)
+		for m := range s.scales {
+			dec := s.opts.Precision[m]
+			if dec == 0 {
+				dec = defaultDecimals(sensors.Metric(m))
+			}
+			if dec < 0 {
+				s.scales[m] = 0 // raw
+				continue
+			}
+			scale := 1.0
+			for i := 0; i < dec; i++ {
+				scale *= 10
+			}
+			s.scales[m] = scale
+		}
+	})
+}
+
+func (s *Store) location() *time.Location {
+	if l := s.loc.Load(); l != nil {
+		return l
+	}
+	return time.UTC
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Append ingests one record. Records must arrive in non-decreasing time
+// order per rack (equal timestamps are fine); concurrent appends to
+// different racks proceed in parallel.
+func (s *Store) Append(r sensors.Record) error {
+	s.init()
+	s.loc.CompareAndSwap(nil, r.Time.Location())
+	t := r.Time.UnixNano()
+	sh := &s.shards[r.Rack.Index()]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.hasLast && t < sh.lastT {
+		return fmt.Errorf("tsdb: out-of-order record for rack %v: %v before %v",
+			r.Rack, r.Time, time.Unix(0, sh.lastT).In(s.location()))
+	}
+	sh.counter++
+	if s.opts.Downsample > 1 && (sh.counter-1)%s.opts.Downsample != 0 {
+		return nil
+	}
+	part := floorDiv(t, s.partNanos)
+	if sh.head != nil && sh.head.partition != part {
+		sh.sealed = append(sh.sealed, sealHead(sh.head, s.scales))
+		sh.head = nil
+	}
+	if sh.head == nil {
+		sh.head = &headBlock{partition: part}
+	}
+	sh.head.times = append(sh.head.times, t)
+	for m := range sh.head.vals {
+		v := r.Value(sensors.Metric(m))
+		if scale := s.scales[m]; scale > 0 {
+			v = quantize(v, scale)
+		}
+		sh.head.vals[m] = append(sh.head.vals[m], v)
+	}
+	sh.lastT = t
+	sh.hasLast = true
+	sh.total++
+	return nil
+}
+
+// quantize rounds v to the store's decimal grid. NaN/Inf pass through (the
+// sealer falls back to XOR for such blocks).
+func quantize(v, scale float64) float64 {
+	q := math.Round(v*scale) / scale
+	if q != q { // NaN
+		return v
+	}
+	return q
+}
+
+// SealAll compresses every non-empty head block. Appends afterwards start
+// fresh heads; use before Stats for a fully-compressed footprint, or to
+// bound head memory when ingest pauses.
+func (s *Store) SealAll() {
+	s.init()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.head != nil && len(sh.head.times) > 0 {
+			sh.sealed = append(sh.sealed, sealHead(sh.head, s.scales))
+			sh.head = nil
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of stored records across all racks.
+func (s *Store) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += sh.total
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// snapshot is an immutable view of one shard taken under its read lock:
+// sealed block pointers plus the head's current slice prefixes. The backing
+// arrays are never mutated below the snapshotted lengths, so the snapshot
+// can be decoded and scanned lock-free.
+type snapshot struct {
+	sealed    []*sealedBlock
+	headTimes []int64
+	headVals  [sensors.NumMetrics][]float64
+}
+
+func (sh *shard) snapshot() snapshot {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	snap := snapshot{sealed: sh.sealed[:len(sh.sealed):len(sh.sealed)]}
+	if sh.head != nil {
+		n := len(sh.head.times)
+		snap.headTimes = sh.head.times[:n:n]
+		for m := range sh.head.vals {
+			snap.headVals[m] = sh.head.vals[m][:n:n]
+		}
+	}
+	return snap
+}
+
+// blockView is one time-ordered run of samples: a sealed block (decoded
+// lazily, one column at a time) or the head prefix.
+type blockView struct {
+	sealed   *sealedBlock
+	headSnap *snapshot
+}
+
+func (snap *snapshot) blocks() []blockView {
+	views := make([]blockView, 0, len(snap.sealed)+1)
+	for _, b := range snap.sealed {
+		views = append(views, blockView{sealed: b})
+	}
+	if len(snap.headTimes) > 0 {
+		views = append(views, blockView{headSnap: snap})
+	}
+	return views
+}
+
+func (bv blockView) bounds() (minT, maxT int64) {
+	if bv.sealed != nil {
+		return bv.sealed.minT, bv.sealed.maxT
+	}
+	return bv.headSnap.headTimes[0], bv.headSnap.headTimes[len(bv.headSnap.headTimes)-1]
+}
+
+func (bv blockView) timestamps() []int64 {
+	if bv.sealed != nil {
+		return bv.sealed.decodeTimes()
+	}
+	return bv.headSnap.headTimes
+}
+
+func (bv blockView) channel(m sensors.Metric) []float64 {
+	if bv.sealed != nil {
+		return bv.sealed.decodeChannel(m)
+	}
+	return bv.headSnap.headVals[m]
+}
+
+// searchRange returns the half-open index range of times within [fromN, toN).
+func searchRange(times []int64, fromN, toN int64) (lo, hi int) {
+	lo = sort.Search(len(times), func(i int) bool { return times[i] >= fromN })
+	hi = sort.Search(len(times), func(i int) bool { return times[i] >= toN })
+	return lo, hi
+}
+
+// Query returns the stored records for one rack with timestamps in
+// [from, to), in time order. Values are the stored (ingest-quantized)
+// values; see Options.Precision.
+func (s *Store) Query(rack topology.RackID, from, to time.Time) []sensors.Record {
+	s.init()
+	out := []sensors.Record{}
+	it := s.Iter(rack, from, to)
+	for it.Next() {
+		out = append(out, it.Record())
+	}
+	return out
+}
+
+// Series extracts one metric for one rack over [from, to) as parallel
+// times/values slices, decompressing only that metric's column.
+func (s *Store) Series(rack topology.RackID, m sensors.Metric, from, to time.Time) ([]time.Time, []float64) {
+	s.init()
+	loc := s.location()
+	fromN, toN := from.UnixNano(), to.UnixNano()
+	snap := s.shards[rack.Index()].snapshot()
+	times := []time.Time{}
+	vals := []float64{}
+	for _, bv := range snap.blocks() {
+		minT, maxT := bv.bounds()
+		if maxT < fromN || minT >= toN {
+			continue
+		}
+		ts := bv.timestamps()
+		lo, hi := searchRange(ts, fromN, toN)
+		if lo >= hi {
+			continue
+		}
+		col := bv.channel(m)
+		for i := lo; i < hi; i++ {
+			times = append(times, time.Unix(0, ts[i]).In(loc))
+			vals = append(vals, col[i])
+		}
+	}
+	return times, vals
+}
+
+// EachRecord visits every stored record (rack-major, time order within
+// rack). The visit runs against a per-shard snapshot, so it never blocks
+// concurrent appends for more than the snapshot instant.
+func (s *Store) EachRecord(f func(sensors.Record)) {
+	s.EachRecordUntil(func(r sensors.Record) bool { f(r); return true })
+}
+
+// EachRecordUntil visits records rack-major until f returns false.
+func (s *Store) EachRecordUntil(f func(sensors.Record) bool) {
+	s.init()
+	for i := range s.shards {
+		it := s.iterShard(topology.RackByIndex(i), &s.shards[i], minTime, maxTime)
+		for it.Next() {
+			if !f(it.Record()) {
+				return
+			}
+		}
+	}
+}
+
+// Sentinel nanos covering any representable sample time.
+const (
+	minTime = int64(-1) << 62
+	maxTime = int64(1)<<62 - 1
+)
+
+// ExportCSV writes all records (rack-major) in the envdb export schema.
+func (s *Store) ExportCSV(w io.Writer) error { return envdb.WriteCSV(w, s) }
+
+// ImportCSV reads records in the envdb export schema into the store.
+// Because the default ingest precision equals the schema's formatting
+// precision, export → import → export round-trips byte-identically.
+func (s *Store) ImportCSV(r io.Reader) error { return envdb.ReadCSV(r, s) }
+
+// Stats describes the store's footprint.
+type Stats struct {
+	// Records is the total stored sample count (sealed + head).
+	Records int
+	// SealedRecords and SealedBlocks count the compressed portion.
+	SealedRecords int
+	SealedBlocks  int
+	// SealedBytes is the compressed payload size of all sealed blocks.
+	SealedBytes int64
+	// HeadBytes is the uncompressed columnar head footprint.
+	HeadBytes int64
+	// BytesPerRecord is SealedBytes / SealedRecords: one record is one
+	// timestamp plus six float64 channels.
+	BytesPerRecord float64
+	// BytesPerSample is the Gorilla-style metric: compressed bytes per
+	// (timestamp, value) sample, i.e. SealedBytes / (SealedRecords × 6).
+	BytesPerSample float64
+}
+
+// Stats reports the current footprint. Call SealAll first for a
+// fully-compressed view.
+func (s *Store) Stats() Stats {
+	s.init()
+	var st Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Records += sh.total
+		st.SealedBlocks += len(sh.sealed)
+		for _, b := range sh.sealed {
+			st.SealedRecords += b.count
+			st.SealedBytes += b.payloadBytes()
+		}
+		if sh.head != nil {
+			st.HeadBytes += int64(len(sh.head.times)) * 8 * (1 + int64(sensors.NumMetrics))
+		}
+		sh.mu.RUnlock()
+	}
+	if st.SealedRecords > 0 {
+		st.BytesPerRecord = float64(st.SealedBytes) / float64(st.SealedRecords)
+		st.BytesPerSample = st.BytesPerRecord / float64(sensors.NumMetrics)
+	}
+	return st
+}

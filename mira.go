@@ -32,7 +32,12 @@ import (
 	"mira/internal/sensors"
 	"mira/internal/sim"
 	"mira/internal/timeutil"
+	"mira/internal/tsdb"
 )
+
+// NewTSDB creates a compressed, concurrent telemetry database with default
+// options (30-day partitions, CSV-schema precision, no downsampling).
+func NewTSDB() *TSDB { return tsdb.NewStore() }
 
 // Re-exported core types. The aliases make the full simulator and analysis
 // surface usable through this package alone.
@@ -51,8 +56,15 @@ type (
 	Record = sensors.Record
 	// RASLog is the reliability/availability/serviceability event log.
 	RASLog = ras.Log
-	// EnvDB is the environmental telemetry database.
+	// TelemetryStore is the environmental-database surface: both EnvDB and
+	// TSDB satisfy it.
+	TelemetryStore = envdb.DB
+	// EnvDB is the plain slice-backed environmental telemetry database
+	// (single goroutine, uncompressed).
 	EnvDB = envdb.Store
+	// TSDB is the sharded, compressed, concurrent telemetry engine; a full
+	// 2014–2019 run fits in memory without lossy downsampling.
+	TSDB = tsdb.Store
 
 	// YearlyTrend is Fig. 2. CoolantTimeline is Fig. 3, and so on: one
 	// result struct per figure of the paper.
@@ -127,7 +139,9 @@ type StudyConfig struct {
 	// proportionally faster at slightly reduced fidelity).
 	Step time.Duration
 	// TelemetryDB, when non-nil, receives every coolant-monitor sample.
-	TelemetryDB *EnvDB
+	// Use &mira.EnvDB{} for the plain slice store or mira.NewTSDB() for
+	// the compressed engine that holds full-rate multi-year runs.
+	TelemetryDB TelemetryStore
 	// LocationFrameEvery, when positive, captures machine-wide feature
 	// frames at this cadence for the system-level location predictor.
 	// Frames cost ≈48×6 floats each; keep the cadence coarse (≥1 h) or the
