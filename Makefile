@@ -2,9 +2,9 @@
 # the roadmap expect before a change lands.
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench smoke
 
-check: vet build race
+check: vet build race smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,12 @@ test:
 # concurrent ingest+query test that only means something under -race.
 race:
 	$(GO) test -race ./...
+
+# smoke is the end-to-end persistence round trip: mirasim -data flushes
+# segment files, miraanalyze -data reopens them warm, the figures must match
+# the CSV in-memory path, and a corrupted segment must fail descriptively.
+smoke:
+	./scripts/smoke.sh
 
 # bench reports tsdb ingest throughput, compressed bytes/sample, and
 # range-query scan performance (serial vs parallel).

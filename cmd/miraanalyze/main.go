@@ -4,12 +4,18 @@
 // Usage:
 //
 //	miraanalyze [-seed N] [-step 15m] [-figure all|2|3|...|15]
+//	            [-from out.csv] [-data dir]
 //
 // A full run at -step 15m takes under a minute; -step 300s matches the
-// coolant monitor's native cadence and takes a few minutes.
+// coolant monitor's native cadence and takes a few minutes. -data reopens
+// a telemetry store persisted by mirasim (or a previous cold start) and
+// regenerates the offline figures without re-running the simulation; if
+// the directory holds no segments yet, the simulation runs once and its
+// telemetry is persisted there for the next invocation.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +27,8 @@ import (
 	"mira/internal/analysis"
 	"mira/internal/ras"
 	"mira/internal/report"
+	"mira/internal/sim"
+	"mira/internal/timeutil"
 	"mira/internal/topology"
 	"mira/internal/tsdb"
 )
@@ -33,9 +41,14 @@ func main() {
 		step    = flag.Duration("step", 15*time.Minute, "simulation tick")
 		figure  = flag.String("figure", "all", "which figure to print (1..15, pue, or all)")
 		fromCSV = flag.String("from", "", "analyze an exported telemetry CSV instead of simulating (figures 3/7/8/9 only)")
+		dataDir = flag.String("data", "", "analyze a persisted telemetry store (figures 3/7/8/9; cold start simulates once and persists)")
 	)
 	flag.Parse()
 
+	if *dataDir != "" {
+		analyzeData(*dataDir, *seed, *step)
+		return
+	}
 	if *fromCSV != "" {
 		analyzeOffline(*fromCSV)
 		return
@@ -115,6 +128,41 @@ func printEfficiency(s *mira.Study) {
 	fmt.Println()
 }
 
+// analyzeData regenerates the coolant/ambient figures from a persisted
+// telemetry store. A warm open skips the simulation entirely; a cold start
+// (no segments yet) simulates once, persists, then analyzes the same
+// store — so cold and warm invocations print identical figures.
+func analyzeData(dir string, seed int64, step time.Duration) {
+	db, err := tsdb.Open(dir, tsdb.Options{})
+	switch {
+	case err == nil:
+		st := db.Stats()
+		fmt.Printf("warm start: loaded %d telemetry records from %s (%.1f MiB on disk)\n",
+			db.Len(), dir, float64(st.DiskBytes)/(1<<20))
+	case errors.Is(err, tsdb.ErrNoData):
+		fmt.Printf("cold start: no segments under %s; simulating 2014-2019 (seed %d, step %v)...\n", dir, seed, step)
+		db = tsdb.NewStore()
+		rec := sim.NewEnvDBRecorder(db)
+		s := sim.New(sim.Config{Seed: seed, Start: timeutil.ProductionStart, End: timeutil.ProductionEnd, Step: step})
+		s.AddRecorder(rec)
+		if err := s.Run(); err != nil {
+			log.Fatal(err)
+		}
+		if rec.Err != nil {
+			log.Fatalf("telemetry recording: %v", rec.Err)
+		}
+		if err := db.Flush(dir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("persisted %d telemetry records to %s (%.1f MiB on disk)\n",
+			db.Len(), dir, float64(db.Stats().DiskBytes)/(1<<20))
+	default:
+		log.Fatal(err)
+	}
+	fmt.Println()
+	analyzeStore(db)
+}
+
 // analyzeOffline regenerates the coolant/ambient figures from an exported
 // telemetry CSV (see cmd/mirasim -telemetry).
 func analyzeOffline(path string) {
@@ -131,6 +179,13 @@ func analyzeOffline(path string) {
 	st := db.Stats()
 	fmt.Printf("loaded %d telemetry records from %s (%.1f MiB compressed, %.2f B/sample)\n\n",
 		db.Len(), path, float64(st.SealedBytes)/(1<<20), st.BytesPerSample)
+	analyzeStore(db)
+}
+
+// analyzeStore prints the offline figures (3/7/8/9) from a telemetry
+// store, however it was produced (CSV import, warm segment open, or a
+// fresh simulation).
+func analyzeStore(db *tsdb.Store) {
 	c := analysis.CollectFromStore(db)
 
 	fig3 := c.Fig3CoolantTimeline()

@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	miramon [-seed N] [-train-days 120] [-watch-days 45]
+//	miramon [-seed N] [-train-days 120] [-watch-days 45] [-data dir]
+//
+// With -data, a cold run persists the watched telemetry to segment files;
+// a warm run (segments already present) skips the simulation and instead
+// replays the persisted telemetry through the threshold monitor and the
+// aggregation summary.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -82,8 +88,21 @@ func main() {
 		seed      = flag.Int64("seed", 99, "seed")
 		trainDays = flag.Int("train-days", 150, "days of telemetry to train the early-warning model on")
 		watchDays = flag.Int("watch-days", 45, "days of telemetry to monitor")
+		dataDir   = flag.String("data", "", "persist watched telemetry to segment files; on a warm open, replay them instead of simulating")
 	)
 	flag.Parse()
+
+	if *dataDir != "" {
+		db, err := tsdb.Open(*dataDir, tsdb.Options{})
+		if err == nil {
+			replayAudit(db, *dataDir)
+			return
+		}
+		if !errors.Is(err, tsdb.ErrNoData) {
+			log.Fatal(err)
+		}
+		// Cold start: run the live demo below and persist at the end.
+	}
 
 	// Train on a failure-dense 2016 stretch.
 	trainStart := time.Date(2016, 6, 1, 0, 0, 0, 0, timeutil.Chicago)
@@ -136,6 +155,47 @@ func main() {
 	hot := topology.RackID{Row: 1, Col: 8} // the paper's humidity hotspot
 	fmt.Printf("rack %v inlet °F by week (min / mean / max, aggregation pushdown):\n", hot)
 	for _, agg := range db.Aggregate(hot, sensors.MetricInletTemp, watchStart, watchEnd, 7*24*time.Hour) {
+		if agg.Count == 0 {
+			continue
+		}
+		fmt.Printf("  wk %s  %6.2f / %6.2f / %6.2f\n", agg.Start.Format("2006-01-02"), agg.Min, agg.Mean(), agg.Max)
+	}
+
+	if *dataDir != "" {
+		if err := db.Flush(*dataDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwatched telemetry persisted to %s (%.1f MiB on disk); rerun with -data to replay without simulating\n",
+			*dataDir, float64(db.Stats().DiskBytes)/(1<<20))
+	}
+}
+
+// replayAudit is the warm-start path: no simulation, no NN (the model
+// trains on simulated incidents) — just classic threshold monitoring and
+// the aggregation pushdown summary over the persisted telemetry.
+func replayAudit(db *tsdb.Store, dir string) {
+	first, last, ok := db.Bounds()
+	if !ok {
+		log.Fatalf("store under %s is empty", dir)
+	}
+	st := db.Stats()
+	fmt.Printf("warm start: replaying %d persisted samples from %s (%.1f MiB on disk)\n",
+		db.Len(), dir, float64(st.DiskBytes)/(1<<20))
+	fmt.Printf("window: %s .. %s\n\n", first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
+
+	thresholds := sensors.DefaultThresholds()
+	warnings := 0
+	db.EachRecord(func(r sensors.Record) {
+		if len(thresholds.Check(r)) > 0 {
+			warnings++
+		}
+	})
+	fmt.Printf("threshold alarms over the stored window: %d\n", warnings)
+	fmt.Println("(NN early warnings need a live run: the model trains on simulated incidents)")
+
+	hot := topology.RackID{Row: 1, Col: 8} // the paper's humidity hotspot
+	fmt.Printf("\nrack %v inlet °F by week (min / mean / max, aggregation pushdown):\n", hot)
+	for _, agg := range db.Aggregate(hot, sensors.MetricInletTemp, first, last.Add(time.Nanosecond), 7*24*time.Hour) {
 		if agg.Count == 0 {
 			continue
 		}

@@ -4,9 +4,12 @@
 // Usage:
 //
 //	mirasim [-seed N] [-start 2014-01-01] [-end 2020-01-01] [-step 300s]
-//	        [-downsample N] [-telemetry out.csv] [-ras out.log]
+//	        [-downsample N] [-data dir] [-telemetry out.csv] [-ras out.log]
 //
-// With no output flags, a run summary is printed to stdout.
+// With no output flags, a run summary is printed to stdout. -data persists
+// the compressed telemetry store to per-shard segment files, which
+// miraanalyze and miramon reopen with their own -data flag instead of
+// re-running the simulation.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 		endStr     = flag.String("end", "2020-01-01", "window end, exclusive (YYYY-MM-DD)")
 		step       = flag.Duration("step", timeutil.SampleInterval, "tick length")
 		downsample = flag.Int("downsample", 1, "keep 1 of every N telemetry samples (1 = full rate; the compressed tsdb engine holds full six-year runs in memory)")
+		dataDir    = flag.String("data", "", "persist the telemetry store to segment files under this directory")
 		telemetry  = flag.String("telemetry", "", "write telemetry CSV to this file")
 		rasOut     = flag.String("ras", "", "write the deduplicated failure log to this file")
 	)
@@ -78,6 +82,13 @@ func main() {
 			q, qs.Started, qs.MeanWaitHours(), qs.MeanRunHours())
 	}
 
+	if *dataDir != "" {
+		if err := db.Flush(*dataDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry persisted to %s (%.1f MiB on disk)\n",
+			*dataDir, float64(db.Stats().DiskBytes)/(1<<20))
+	}
 	if *telemetry != "" {
 		f, err := os.Create(*telemetry)
 		if err != nil {

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"sort"
-	"time"
 
 	"mira/internal/envdb"
 	"mira/internal/sensors"
@@ -18,23 +17,28 @@ import (
 // coolant/ambient figure (3, 7, 8, 9) is fully usable.
 func CollectFromStore(db envdb.DB) *Collector {
 	c := NewCollector()
-	// Records are stored rack-major; group them into ticks by timestamp.
-	byTick := make(map[time.Time][]sensors.Record)
-	var order []time.Time
+	// Records are stored rack-major; group them into ticks by instant.
+	// Keys are UnixNano, not time.Time: the == on time.Time compares wall
+	// clock and location too, so identical instants from different sources
+	// (Chicago-simulated vs UTC CSV-reimported telemetry) would split into
+	// separate ticks and corrupt the reconstructed system power.
+	byTick := make(map[int64][]sensors.Record)
+	var order []int64
 	db.EachRecord(func(r sensors.Record) {
-		if _, ok := byTick[r.Time]; !ok {
-			order = append(order, r.Time)
+		k := r.Time.UnixNano()
+		if _, ok := byTick[k]; !ok {
+			order = append(order, k)
 		}
-		byTick[r.Time] = append(byTick[r.Time], r)
+		byTick[k] = append(byTick[k], r)
 	})
-	sortTimes(order)
-	for _, ts := range order {
-		recs := byTick[ts]
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	for _, k := range order {
+		recs := byTick[k]
 		var totalPower units.Watts
 		for _, r := range recs {
 			totalPower += r.Power
 		}
-		c.OnTick(ts, totalPower, nanUtil)
+		c.OnTick(recs[0].Time, totalPower, nanUtil)
 		for _, r := range recs {
 			c.OnSample(r)
 		}
@@ -48,7 +52,3 @@ var nanUtil = func() float64 {
 	var zero float64
 	return zero / zero // NaN
 }()
-
-func sortTimes(ts []time.Time) {
-	sort.Slice(ts, func(a, b int) bool { return ts[a].Before(ts[b]) })
-}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mira/internal/envdb"
+	"mira/internal/timeutil"
+	"mira/internal/topology"
+	"mira/internal/units"
+)
+
+// TestCollectFromStoreMixedLocations: records carrying the same instant in
+// different time.Locations (Chicago-simulated vs UTC CSV-reimported) must
+// land in the same tick. Grouping by time.Time map keys split them, which
+// halved the reconstructed per-tick system power and plant flow.
+func TestCollectFromStoreMixedLocations(t *testing.T) {
+	db := envdb.NewStore()
+	rackA := topology.RackID{Row: 0, Col: 1}
+	rackB := topology.RackID{Row: 1, Col: 8}
+	start := time.Date(2015, 3, 10, 0, 0, 0, 0, timeutil.Chicago)
+	const ticks = 6
+	for i := 0; i < ticks; i++ {
+		ts := start.Add(time.Duration(i) * timeutil.SampleInterval)
+		ra := flatRecord(ts, rackA)
+		ra.Flow = 10
+		rb := flatRecord(ts.UTC(), rackB) // same instant, different location
+		rb.Flow = 20
+		if err := db.Append(ra); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Append(rb); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := CollectFromStore(db)
+	fig := c.Fig3CoolantTimeline()
+	// One tick per instant → the plant flow is the two racks' sum, not the
+	// mean of two half-populated ticks.
+	if want := 30.0; math.Abs(fig.FlowBeforeTheta-want) > 1e-9 {
+		t.Errorf("plant flow = %v GPM, want %v (instants split into per-location ticks?)", fig.FlowBeforeTheta, want)
+	}
+	// System power likewise sums both racks per tick.
+	trend := c.Fig2YearlyTrend()
+	if len(trend.PowerMW) == 0 {
+		t.Fatal("no power samples collected")
+	}
+	wantMW := float64(2*units.KW(55)) / 1e6
+	for i, p := range trend.PowerMW {
+		if math.Abs(p-wantMW) > 1e-9 {
+			t.Errorf("month %d power = %v MW, want %v", i, p, wantMW)
+		}
+	}
+}

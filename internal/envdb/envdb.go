@@ -66,6 +66,12 @@ type Store struct {
 	// Downsample keeps only every Nth sample per rack (0 or 1 = keep all).
 	Downsample int
 	counter    [topology.NumRacks]int
+
+	// lastT/hasLast track the newest accepted timestamp per rack — kept
+	// records or not — so monotonicity holds across downsample-skipped
+	// samples.
+	lastT   [topology.NumRacks]time.Time
+	hasLast [topology.NumRacks]bool
 }
 
 var _ DB = (*Store)(nil)
@@ -82,10 +88,14 @@ func NewDownsampledStore(n int) *Store { return &Store{Downsample: n} }
 // a periodic sampler, so out-of-order data indicates a bug upstream).
 func (s *Store) Append(r sensors.Record) error {
 	idx := r.Rack.Index()
-	if n := len(s.records[idx]); n > 0 && r.Time.Before(s.records[idx][n-1].Time) {
+	if s.hasLast[idx] && r.Time.Before(s.lastT[idx]) {
 		return fmt.Errorf("envdb: out-of-order record for rack %v: %v before %v",
-			r.Rack, r.Time, s.records[idx][n-1].Time)
+			r.Rack, r.Time, s.lastT[idx])
 	}
+	// Advance the watermark before the downsample skip: an out-of-order
+	// record between two skipped samples must still be rejected.
+	s.lastT[idx] = r.Time
+	s.hasLast[idx] = true
 	s.counter[idx]++
 	if s.Downsample > 1 && (s.counter[idx]-1)%s.Downsample != 0 {
 		return nil
@@ -155,14 +165,22 @@ func (s *Store) ExportCSV(w io.Writer) error { return WriteCSV(w, s) }
 // ImportCSV reads records in the ExportCSV schema into the store.
 func (s *Store) ImportCSV(r io.Reader) error { return ReadCSV(r, s) }
 
+// csvFlushEvery bounds how many rows csv.Writer may buffer before the
+// export checks for an underlying write error. Without the periodic flush,
+// cw.Write never fails (it only buffers) and a disk-full or closed-pipe
+// export would walk every remaining record before noticing.
+const csvFlushEvery = 10000
+
 // WriteCSV writes every record of db in the csvHeader schema. The scan
-// stops at the first write error instead of visiting the remaining records.
+// stops within csvFlushEvery rows of the first underlying write error
+// instead of visiting the remaining records.
 func WriteCSV(w io.Writer, db RecordVisitor) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("envdb: writing header: %w", err)
 	}
 	var err error
+	rows := 0
 	db.EachRecordUntil(func(r sensors.Record) bool {
 		row := []string{
 			r.Time.UTC().Format(time.RFC3339),
@@ -174,14 +192,26 @@ func WriteCSV(w io.Writer, db RecordVisitor) error {
 			strconv.FormatFloat(float64(r.OutletTemp), 'f', 3, 64),
 			strconv.FormatFloat(float64(r.Power), 'f', 1, 64),
 		}
-		err = cw.Write(row)
-		return err == nil
+		if err = cw.Write(row); err != nil {
+			return false
+		}
+		rows++
+		if rows%csvFlushEvery == 0 {
+			cw.Flush()
+			if err = cw.Error(); err != nil {
+				return false
+			}
+		}
+		return true
 	})
 	if err != nil {
 		return fmt.Errorf("envdb: writing rows: %w", err)
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("envdb: writing rows: %w", err)
+	}
+	return nil
 }
 
 // ReadCSV reads records in the csvHeader schema into dst. The header must

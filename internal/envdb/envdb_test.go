@@ -268,3 +268,61 @@ func TestQueryEmptyRange(t *testing.T) {
 		t.Errorf("unknown rack query returned %d records", len(got))
 	}
 }
+
+// TestDownsampleWatermark: the out-of-order watermark must advance on
+// skipped samples too. With the watermark only tracking retained records, a
+// record older than a skipped sample slipped in and broke time order.
+func TestDownsampleWatermark(t *testing.T) {
+	s := NewDownsampledStore(3)
+	r := topology.RackID{Row: 0, Col: 2}
+	if err := s.Append(rec(r, base, 64)); err != nil { // kept
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(r, base.Add(2*time.Minute), 64)); err != nil { // skipped
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(r, base.Add(time.Minute), 64)); err == nil {
+		t.Error("append behind a downsample-skipped sample should fail")
+	}
+}
+
+// failAfterWriter accepts the first n bytes, then errors.
+type failAfterWriter struct {
+	n int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		return 0, errors.New("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriteCSVStopsOnWriteError: csv.Writer only surfaces underlying write
+// errors at Flush, so WriteCSV must flush periodically and abort the scan —
+// not walk every remaining record after the destination is dead.
+func TestWriteCSVStopsOnWriteError(t *testing.T) {
+	s := NewStore()
+	r := topology.RackID{Row: 1, Col: 3}
+	const n = 2*csvFlushEvery + 5000
+	for i := 0; i < n; i++ {
+		if err := s.Append(rec(r, base.Add(time.Duration(i)*time.Second), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cv := &countingVisitor{db: s}
+	err := WriteCSV(&failAfterWriter{n: 256}, cv)
+	if err == nil {
+		t.Fatal("WriteCSV on a failing writer should error")
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("error %v does not wrap the underlying write error", err)
+	}
+	if cv.visited > csvFlushEvery {
+		t.Errorf("visited %d records after the writer died, want <= %d", cv.visited, csvFlushEvery)
+	}
+	if cv.visited == n {
+		t.Error("scan walked the entire store despite a dead writer")
+	}
+}

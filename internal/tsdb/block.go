@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"fmt"
 	"math"
 
 	"mira/internal/sensors"
@@ -24,13 +25,16 @@ type channelData struct {
 }
 
 // sealedBlock is an immutable, compressed run of one rack's samples. All
-// fields are written once at seal time; concurrent readers decode without
-// locks.
+// fields are written once at seal time (or segment load time); concurrent
+// readers decode without locks.
 type sealedBlock struct {
 	minT, maxT int64 // unix nanoseconds of the first/last sample
 	count      int
 	times      []byte
 	ch         [sensors.NumMetrics]channelData
+	// src names the segment file and block index for disk-loaded blocks
+	// ("" for memory-born ones), so decode errors identify their origin.
+	src string
 }
 
 // headBlock is the mutable in-progress partition of a shard: plain columnar
@@ -88,21 +92,42 @@ func quantizeExact(vals []float64, scale float64) ([]int64, bool) {
 	return ints, true
 }
 
-func (b *sealedBlock) decodeTimes() []int64 { return decodeTimes(b.times, b.count) }
+// wrap qualifies a decode error with the block's origin.
+func (b *sealedBlock) wrap(what string, err error) error {
+	if b.src != "" {
+		return fmt.Errorf("tsdb: %s: %s: %w", b.src, what, err)
+	}
+	return fmt.Errorf("tsdb: sealed block: %s: %w", what, err)
+}
+
+func (b *sealedBlock) decodeTimes() ([]int64, error) {
+	ts, err := decodeTimes(b.times, b.count)
+	if err != nil {
+		return nil, b.wrap("timestamps", err)
+	}
+	return ts, nil
+}
 
 // decodeChannel materializes one value column — the unit of decompression
 // work, so single-metric reads (Series, Aggregate) skip five sixths of it.
-func (b *sealedBlock) decodeChannel(m sensors.Metric) []float64 {
+func (b *sealedBlock) decodeChannel(m sensors.Metric) ([]float64, error) {
 	c := b.ch[m]
 	if c.enc == encXOR {
-		return decodeXOR(c.data, b.count)
+		out, err := decodeXOR(c.data, b.count)
+		if err != nil {
+			return nil, b.wrap(m.String(), err)
+		}
+		return out, nil
 	}
-	ints := decodeInts(c.data, b.count)
+	ints, err := decodeInts(c.data, b.count)
+	if err != nil {
+		return nil, b.wrap(m.String(), err)
+	}
 	out := make([]float64, len(ints))
 	for i, n := range ints {
 		out[i] = float64(n) / c.scale
 	}
-	return out
+	return out, nil
 }
 
 // payloadBytes is the compressed size of the block's streams.

@@ -12,6 +12,8 @@
 package tsdb
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	stdbits "math/bits"
 )
@@ -50,18 +52,24 @@ func (w *bitWriter) writeBits(v uint64, nbits uint) {
 
 func (w *bitWriter) bytes() []byte { return w.b }
 
-// bitReader consumes bits MSB-first. Overrunning the stream panics: sealed
-// blocks are built and kept in-process, so a short stream is an internal
-// invariant violation, not an input error.
+// errOverrun reports a compressed stream that ended before the declared
+// sample count was decoded — a truncated or corrupted payload.
+var errOverrun = errors.New("bitstream overrun")
+
+// bitReader consumes bits MSB-first. Overrunning the stream sets a sticky
+// error and yields zero bits: sealed payloads may now come from disk, so a
+// short stream is an input error the decoders report, not a panic.
 type bitReader struct {
 	b   []byte
 	bit uint
+	err error
 }
 
 func (r *bitReader) readBit() bool {
 	i := r.bit >> 3
 	if i >= uint(len(r.b)) {
-		panic("tsdb: bitstream overrun")
+		r.err = errOverrun
+		return false
 	}
 	bit := r.b[i]>>(7-r.bit&7)&1 == 1
 	r.bit++
@@ -74,6 +82,9 @@ func (r *bitReader) readBits(nbits uint) uint64 {
 		v <<= 1
 		if r.readBit() {
 			v |= 1
+		}
+		if r.err != nil {
+			return 0
 		}
 	}
 	return v
@@ -145,10 +156,10 @@ func encodeTimes(ts []int64) []byte {
 	return w.bytes()
 }
 
-func decodeTimes(buf []byte, n int) []int64 {
+func decodeTimes(buf []byte, n int) ([]int64, error) {
 	out := make([]int64, n)
 	if n == 0 {
-		return out
+		return out, nil
 	}
 	r := &bitReader{b: buf}
 	out[0] = int64(r.readBits(64))
@@ -161,7 +172,10 @@ func decodeTimes(buf []byte, n int) []int64 {
 		}
 		out[i] = out[i-1] + delta
 	}
-	return out
+	if r.err != nil {
+		return nil, fmt.Errorf("decoding timestamps: %w", r.err)
+	}
+	return out, nil
 }
 
 // encodeInts compresses a quantized channel: the first value raw-ish
@@ -182,17 +196,20 @@ func encodeInts(vals []int64) []byte {
 	return w.bytes()
 }
 
-func decodeInts(buf []byte, n int) []int64 {
+func decodeInts(buf []byte, n int) ([]int64, error) {
 	out := make([]int64, n)
 	if n == 0 {
-		return out
+		return out, nil
 	}
 	r := &bitReader{b: buf}
 	out[0] = unzigzag(readVarbit(r))
 	for i := 1; i < n; i++ {
 		out[i] = out[i-1] + unzigzag(readVarbit(r))
 	}
-	return out
+	if r.err != nil {
+		return nil, fmt.Errorf("decoding integer deltas: %w", r.err)
+	}
+	return out, nil
 }
 
 // encodeXOR is the classic Gorilla float encoding: XOR against the previous
@@ -238,10 +255,10 @@ func encodeXOR(vals []float64) []byte {
 	return w.bytes()
 }
 
-func decodeXOR(buf []byte, n int) []float64 {
+func decodeXOR(buf []byte, n int) ([]float64, error) {
 	out := make([]float64, n)
 	if n == 0 {
-		return out
+		return out, nil
 	}
 	r := &bitReader{b: buf}
 	bits := r.readBits(64)
@@ -255,11 +272,22 @@ func decodeXOR(buf []byte, n int) []float64 {
 		if r.readBit() { // new window
 			leading = uint(r.readBits(5))
 			sig := uint(r.readBits(6)) + 1
+			if leading+sig > 64 {
+				// Corrupted window descriptor; without this check the
+				// trailing count underflows and the read length explodes.
+				return nil, fmt.Errorf("decoding XOR floats: invalid window (leading %d, significant %d)", leading, sig)
+			}
 			trailing = 64 - leading - sig
 		}
 		sig := 64 - leading - trailing
 		bits ^= r.readBits(sig) << trailing
 		out[i] = math.Float64frombits(bits)
+		if r.err != nil {
+			break
+		}
 	}
-	return out
+	if r.err != nil {
+		return nil, fmt.Errorf("decoding XOR floats: %w", r.err)
+	}
+	return out, nil
 }

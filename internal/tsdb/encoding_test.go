@@ -79,7 +79,10 @@ func TestTimesCodec(t *testing.T) {
 	}
 	for name, ts := range cases {
 		buf := encodeTimes(ts)
-		got := decodeTimes(buf, len(ts))
+		got, err := decodeTimes(buf, len(ts))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		for i := range ts {
 			if got[i] != ts[i] {
 				t.Errorf("%s: ts[%d] = %d, want %d", name, i, got[i], ts[i])
@@ -104,11 +107,46 @@ func TestIntsCodec(t *testing.T) {
 		vals = append(vals, vals[len(vals)-1]+int64(rng.NormFloat64()*300))
 	}
 	buf := encodeInts(vals)
-	got := decodeInts(buf, len(vals))
+	got, err := decodeInts(buf, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range vals {
 		if got[i] != vals[i] {
 			t.Fatalf("ints[%d] = %d, want %d", i, got[i], vals[i])
 		}
+	}
+}
+
+// TestDecodeTruncated feeds each decoder a truncated payload and expects a
+// wrapped overrun error rather than a panic: compressed payloads can now
+// arrive from disk, so short streams are input errors.
+func TestDecodeTruncated(t *testing.T) {
+	ts := []int64{0, 300e9, 600e9, 900e9, 1<<50 + 7}
+	ints := []int64{64250, 64000, -3, 1 << 40}
+	floats := []float64{64.0, 64.1, math.Pi, -1e300}
+	tbuf, ibuf, fbuf := encodeTimes(ts), encodeInts(ints), encodeXOR(floats)
+	for cut := 0; cut < len(tbuf); cut++ {
+		if _, err := decodeTimes(tbuf[:cut], len(ts)); err == nil {
+			t.Errorf("decodeTimes with %d/%d bytes: no error", cut, len(tbuf))
+		}
+	}
+	for cut := 0; cut < len(ibuf); cut++ {
+		if _, err := decodeInts(ibuf[:cut], len(ints)); err == nil {
+			t.Errorf("decodeInts with %d/%d bytes: no error", cut, len(ibuf))
+		}
+	}
+	for cut := 0; cut < len(fbuf); cut++ {
+		if _, err := decodeXOR(fbuf[:cut], len(floats)); err == nil {
+			t.Errorf("decodeXOR with %d/%d bytes: no error", cut, len(fbuf))
+		}
+	}
+	// Asking for more samples than were encoded overruns too.
+	if _, err := decodeTimes(tbuf, len(ts)+64); err == nil {
+		t.Error("decodeTimes past the stream end: no error")
+	}
+	if _, err := decodeXOR(fbuf, len(floats)+64); err == nil {
+		t.Error("decodeXOR past the stream end: no error")
 	}
 }
 
@@ -124,7 +162,10 @@ func TestXORCodec(t *testing.T) {
 		vals = append(vals, 64+rng.NormFloat64()*0.1)
 	}
 	buf := encodeXOR(vals)
-	got := decodeXOR(buf, len(vals))
+	got, err := decodeXOR(buf, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range vals {
 		want := math.Float64bits(vals[i])
 		if math.Float64bits(got[i]) != want {

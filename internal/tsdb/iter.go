@@ -25,6 +25,7 @@ type Iter struct {
 	pos   int
 	hi    int
 	cur   sensors.Record
+	err   error
 }
 
 // Iter returns a streaming iterator over one rack's records in [from, to).
@@ -46,7 +47,8 @@ func (s *Store) iterShard(rack topology.RackID, sh *shard, fromN, toN int64) *It
 	}
 }
 
-// Next advances the cursor; it returns false when the range is exhausted.
+// Next advances the cursor; it returns false when the range is exhausted
+// or a block failed to decode (see Err).
 func (it *Iter) Next() bool {
 	for it.pos+1 >= it.hi {
 		if !it.nextBlock() {
@@ -58,22 +60,38 @@ func (it *Iter) Next() bool {
 	return true
 }
 
+// Err reports the first block decode failure the iteration hit, nil on a
+// clean scan. Decode failures are only reachable through in-process
+// corruption (segments are checksum-verified at Open), so the error-free
+// query surface treats a non-nil Err as a panic-worthy invariant violation.
+func (it *Iter) Err() error { return it.err }
+
 // nextBlock decodes the next block overlapping the range; false when none.
 func (it *Iter) nextBlock() bool {
+	if it.err != nil {
+		return false
+	}
 	for ; it.bi < len(it.blocks); it.bi++ {
 		bv := it.blocks[it.bi]
 		minT, maxT := bv.bounds()
 		if maxT < it.fromN || minT >= it.toN {
 			continue
 		}
-		times := bv.timestamps()
+		times, err := bv.timestamps()
+		if err != nil {
+			it.err = err
+			return false
+		}
 		lo, hi := searchRange(times, it.fromN, it.toN)
 		if lo >= hi {
 			continue
 		}
 		it.times = times
 		for m := range it.cols {
-			it.cols[m] = bv.channel(sensors.Metric(m))
+			if it.cols[m], err = bv.channel(sensors.Metric(m)); err != nil {
+				it.err = err
+				return false
+			}
 		}
 		it.pos = lo - 1
 		it.hi = hi
@@ -151,12 +169,12 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 		if maxT < fromN || minT >= toN {
 			continue
 		}
-		ts := bv.timestamps()
+		ts := mustDecode(bv.timestamps())
 		lo, hi := searchRange(ts, fromN, toN)
 		if lo >= hi {
 			continue
 		}
-		col := bv.channel(m)
+		col := mustDecode(bv.channel(m))
 		for i := lo; i < hi; i++ {
 			w := &out[(ts[i]-fromN)/winN]
 			v := col[i]

@@ -1,0 +1,353 @@
+package tsdb
+
+// On-disk segment layer: one file per shard (rack) holding that shard's
+// sealed blocks, so a finished run survives restarts and later analyses
+// reopen it instead of re-running the simulation — the "record once,
+// analyze many times" posture of the paper's DB2 environmental database.
+//
+// Format (version 1, little-endian):
+//
+//	file header:
+//	  magic    [4]byte  "MTSG"
+//	  version  uint16   1
+//	  shard    uint16   rack index in [0, NumRacks)
+//	  nblocks  uint32
+//	  locLen   uint16   length of the location name
+//	  locOff   int32    UTC offset in seconds of the records' location
+//	  loc      []byte   location name (e.g. "America/Chicago", "CST")
+//	per block, in time order:
+//	  header:
+//	    minT      int64    unix nanoseconds of the first sample
+//	    maxT      int64    unix nanoseconds of the last sample
+//	    count     uint32   samples in the block
+//	    timesLen  uint32   compressed timestamp payload length
+//	    channels  [6]×(enc uint8, scale float64 bits, dataLen uint32)
+//	    crc       uint32   IEEE CRC32 over the header bytes above plus all
+//	                       of the block's payload bytes
+//	  payloads:
+//	    times bytes, then the six channel payloads
+//
+// The CRC covers the header fields as well as the payloads, so corruption
+// of counts, bounds, or encodings is caught at Open, not at decode time.
+// Payload bytes are not decoded at Open: blocks alias the file buffer and
+// decompress lazily on first touch, so a cold open costs O(index) decode
+// work. Writes go through a temp file and an atomic rename, so a crashed
+// Flush never leaves a half-written segment behind.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/topology"
+)
+
+var (
+	// ErrNoData reports an Open directory with no segment files (or no
+	// directory at all): the caller should fall back to a cold start.
+	ErrNoData = errors.New("no segment data")
+	// ErrCorrupt wraps every structural or checksum failure found while
+	// parsing a segment file.
+	ErrCorrupt = errors.New("corrupt segment")
+)
+
+var segMagic = [4]byte{'M', 'T', 'S', 'G'}
+
+const (
+	segVersion = 1
+
+	segFileHeaderSize = 4 + 2 + 2 + 4 + 2 + 4 // + location name
+	// segBlockHeaderSize covers minT, maxT, count, timesLen, six
+	// (enc, scale, dataLen) channel triples, and the CRC.
+	segBlockHeaderSize = 8 + 8 + 4 + 4 + int(sensors.NumMetrics)*(1+8+4) + 4
+)
+
+func segFileName(shard int) string { return fmt.Sprintf("shard-%02d.seg", shard) }
+
+// Flush seals every head block and persists all sealed blocks to per-shard
+// segment files under dir (created if missing), replacing existing segments
+// atomically. Records appended concurrently with the flush start fresh head
+// blocks and are not persisted until the next Flush. Stats().DiskBytes
+// reflects the written footprint afterwards.
+func (s *Store) Flush(dir string) error {
+	s.init()
+	s.SealAll()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tsdb: flush: %w", err)
+	}
+	loc := s.location()
+	var disk int64
+	for i := range s.shards {
+		snap := s.shards[i].snapshot()
+		if len(snap.sealed) == 0 {
+			continue
+		}
+		n, err := writeSegment(dir, i, loc, snap.sealed)
+		if err != nil {
+			return err
+		}
+		disk += n
+	}
+	s.diskBytes.Store(disk)
+	return nil
+}
+
+func writeSegment(dir string, shard int, loc *time.Location, blocks []*sealedBlock) (int64, error) {
+	name := filepath.Join(dir, segFileName(shard))
+	tmp := name + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	// The location name plus its current UTC offset reconstructs both IANA
+	// zones (by name) and fixed zones like timeutil.Chicago (by offset).
+	locName := loc.String()
+	_, locOff := time.Unix(0, blocks[0].minT).In(loc).Zone()
+
+	w := bufio.NewWriter(f)
+	written := int64(segFileHeaderSize + len(locName))
+	hdr := make([]byte, 0, segFileHeaderSize)
+	hdr = append(hdr, segMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, segVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(shard))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(blocks)))
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(locName)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(int32(locOff)))
+	hdr = append(hdr, locName...)
+	if _, err := w.Write(hdr); err != nil {
+		return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+	}
+
+	bh := make([]byte, 0, segBlockHeaderSize)
+	for _, b := range blocks {
+		bh = bh[:0]
+		bh = binary.LittleEndian.AppendUint64(bh, uint64(b.minT))
+		bh = binary.LittleEndian.AppendUint64(bh, uint64(b.maxT))
+		bh = binary.LittleEndian.AppendUint32(bh, uint32(b.count))
+		bh = binary.LittleEndian.AppendUint32(bh, uint32(len(b.times)))
+		for m := range b.ch {
+			c := b.ch[m]
+			bh = append(bh, c.enc)
+			bh = binary.LittleEndian.AppendUint64(bh, math.Float64bits(c.scale))
+			bh = binary.LittleEndian.AppendUint32(bh, uint32(len(c.data)))
+		}
+		crc := crc32.ChecksumIEEE(bh)
+		crc = crc32.Update(crc, crc32.IEEETable, b.times)
+		for m := range b.ch {
+			crc = crc32.Update(crc, crc32.IEEETable, b.ch[m].data)
+		}
+		bh = binary.LittleEndian.AppendUint32(bh, crc)
+		if _, err := w.Write(bh); err != nil {
+			return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+		}
+		if _, err := w.Write(b.times); err != nil {
+			return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+		}
+		written += int64(len(bh)) + int64(len(b.times))
+		for m := range b.ch {
+			if _, err := w.Write(b.ch[m].data); err != nil {
+				return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+			}
+			written += int64(len(b.ch[m].data))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+	}
+	if err := os.Rename(tmp, name); err != nil {
+		return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
+	}
+	return written, nil
+}
+
+// Open loads a store previously persisted with Flush. Blocks are validated
+// structurally and by checksum but not decoded: payloads alias the file
+// buffers and decompress on first touch. Appending resumes after each
+// shard's persisted maximum timestamp. A directory with no segment files
+// (or a missing directory) returns an error wrapping ErrNoData; corrupted
+// or truncated segments return errors wrapping ErrCorrupt.
+func Open(dir string, opts Options) (*Store, error) {
+	s := NewStoreWith(opts)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("tsdb: open %s: %w", dir, ErrNoData)
+		}
+		return nil, fmt.Errorf("tsdb: open %s: %w", dir, err)
+	}
+	var disk int64
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if ok, _ := filepath.Match("shard-*.seg", e.Name()); !ok {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: open: %w", err)
+		}
+		shard, blocks, loc, err := parseSegment(e.Name(), buf)
+		if err != nil {
+			return nil, err
+		}
+		sh := &s.shards[shard]
+		if sh.total > 0 {
+			return nil, fmt.Errorf("tsdb: segment %s: %w: duplicate shard %d", e.Name(), ErrCorrupt, shard)
+		}
+		for _, b := range blocks {
+			sh.sealed = append(sh.sealed, b)
+			sh.total += b.count
+		}
+		sh.counter = sh.total
+		sh.lastT = blocks[len(blocks)-1].maxT
+		sh.hasLast = true
+		s.loc.CompareAndSwap(nil, loc)
+		disk += int64(len(buf))
+		loaded++
+	}
+	if loaded == 0 {
+		return nil, fmt.Errorf("tsdb: open %s: %w", dir, ErrNoData)
+	}
+	s.diskBytes.Store(disk)
+	return s, nil
+}
+
+// parseSegment validates one segment file and returns its shard index,
+// blocks (aliasing buf), and the records' location.
+func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("tsdb: segment %s: %w: %s", name, ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(buf) < segFileHeaderSize {
+		return 0, nil, nil, corrupt("truncated file header (%d bytes)", len(buf))
+	}
+	if [4]byte(buf[:4]) != segMagic {
+		return 0, nil, nil, corrupt("bad magic %q", buf[:4])
+	}
+	version := binary.LittleEndian.Uint16(buf[4:6])
+	if version != segVersion {
+		return 0, nil, nil, corrupt("unsupported format version %d (want %d)", version, segVersion)
+	}
+	shard := int(binary.LittleEndian.Uint16(buf[6:8]))
+	if shard >= topology.NumRacks {
+		return 0, nil, nil, corrupt("shard index %d out of range (racks: %d)", shard, topology.NumRacks)
+	}
+	nblocks := int(binary.LittleEndian.Uint32(buf[8:12]))
+	locLen := int(binary.LittleEndian.Uint16(buf[12:14]))
+	locOff := int(int32(binary.LittleEndian.Uint32(buf[14:18])))
+	if len(buf) < segFileHeaderSize+locLen {
+		return 0, nil, nil, corrupt("truncated location name")
+	}
+	locName := string(buf[segFileHeaderSize : segFileHeaderSize+locLen])
+	loc := loadLocation(locName, locOff)
+	if nblocks <= 0 || nblocks > (len(buf)-segFileHeaderSize)/segBlockHeaderSize {
+		return 0, nil, nil, corrupt("implausible block count %d for %d bytes", nblocks, len(buf))
+	}
+
+	blocks := make([]*sealedBlock, 0, nblocks)
+	off := segFileHeaderSize + locLen
+	var prevMax int64
+	for i := 0; i < nblocks; i++ {
+		if len(buf)-off < segBlockHeaderSize {
+			return 0, nil, nil, corrupt("block %d: truncated header", i)
+		}
+		h := buf[off : off+segBlockHeaderSize]
+		b := &sealedBlock{
+			minT:  int64(binary.LittleEndian.Uint64(h[0:8])),
+			maxT:  int64(binary.LittleEndian.Uint64(h[8:16])),
+			count: int(binary.LittleEndian.Uint32(h[16:20])),
+			src:   fmt.Sprintf("segment %s block %d", name, i),
+		}
+		timesLen := int(binary.LittleEndian.Uint32(h[20:24]))
+		payload := timesLen
+		p := 24
+		for m := range b.ch {
+			b.ch[m].enc = h[p]
+			b.ch[m].scale = math.Float64frombits(binary.LittleEndian.Uint64(h[p+1 : p+9]))
+			dataLen := int(binary.LittleEndian.Uint32(h[p+9 : p+13]))
+			payload += dataLen
+			p += 13
+		}
+		wantCRC := binary.LittleEndian.Uint32(h[p : p+4])
+
+		if b.count <= 0 {
+			return 0, nil, nil, corrupt("block %d: empty block", i)
+		}
+		if b.minT > b.maxT {
+			return 0, nil, nil, corrupt("block %d: inverted time bounds", i)
+		}
+		if i > 0 && b.minT < prevMax {
+			return 0, nil, nil, corrupt("block %d: overlaps previous block", i)
+		}
+		prevMax = b.maxT
+		if len(buf)-off-segBlockHeaderSize < payload {
+			return 0, nil, nil, corrupt("block %d: truncated payload (%d of %d bytes)", i, len(buf)-off-segBlockHeaderSize, payload)
+		}
+
+		crc := crc32.ChecksumIEEE(h[:p]) // header fields, sans CRC itself
+		crc = crc32.Update(crc, crc32.IEEETable, buf[off+segBlockHeaderSize:off+segBlockHeaderSize+payload])
+		if crc != wantCRC {
+			return 0, nil, nil, corrupt("block %d: checksum mismatch (got %08x, want %08x)", i, crc, wantCRC)
+		}
+
+		q := off + segBlockHeaderSize
+		b.times = buf[q : q+timesLen : q+timesLen]
+		q += timesLen
+		p = 24
+		for m := range b.ch {
+			dataLen := int(binary.LittleEndian.Uint32(h[p+9 : p+13]))
+			b.ch[m].data = buf[q : q+dataLen : q+dataLen]
+			q += dataLen
+			p += 13
+			switch b.ch[m].enc {
+			case encInt:
+				if !(b.ch[m].scale > 0) || math.IsInf(b.ch[m].scale, 1) { // also rejects NaN
+					return 0, nil, nil, corrupt("block %d: channel %d: invalid scale %v", i, m, b.ch[m].scale)
+				}
+			case encXOR:
+			default:
+				return 0, nil, nil, corrupt("block %d: channel %d: unknown encoding %d", i, m, b.ch[m].enc)
+			}
+		}
+		blocks = append(blocks, b)
+		off = q
+	}
+	if off != len(buf) {
+		return 0, nil, nil, corrupt("%d trailing bytes after last block", len(buf)-off)
+	}
+	return shard, blocks, loc, nil
+}
+
+// loadLocation reconstructs the records' location: IANA names resolve via
+// the zone database; fixed zones (like the twin's CST) fall back to the
+// persisted name and offset.
+func loadLocation(name string, offsetSec int) *time.Location {
+	switch name {
+	case "", "UTC":
+		return time.UTC
+	}
+	if loc, err := time.LoadLocation(name); err == nil {
+		return loc
+	}
+	return time.FixedZone(name, offsetSec)
+}

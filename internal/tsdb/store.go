@@ -67,6 +67,7 @@ type Store struct {
 	partNanos int64
 	once      sync.Once
 	loc       atomic.Pointer[time.Location]
+	diskBytes atomic.Int64 // segment bytes as of the last Flush/Open
 	shards    [topology.NumRacks]shard
 }
 
@@ -146,6 +147,11 @@ func (s *Store) Append(r sensors.Record) error {
 		return fmt.Errorf("tsdb: out-of-order record for rack %v: %v before %v",
 			r.Rack, r.Time, time.Unix(0, sh.lastT).In(s.location()))
 	}
+	// The monotonicity watermark advances for every accepted record, kept
+	// or not: with Downsample > 1, an out-of-order record landing between
+	// two skipped samples must still be rejected.
+	sh.lastT = t
+	sh.hasLast = true
 	sh.counter++
 	if s.opts.Downsample > 1 && (sh.counter-1)%s.opts.Downsample != 0 {
 		return nil
@@ -166,8 +172,6 @@ func (s *Store) Append(r sensors.Record) error {
 		}
 		sh.head.vals[m] = append(sh.head.vals[m], v)
 	}
-	sh.lastT = t
-	sh.hasLast = true
 	sh.total++
 	return nil
 }
@@ -259,18 +263,35 @@ func (bv blockView) bounds() (minT, maxT int64) {
 	return bv.headSnap.headTimes[0], bv.headSnap.headTimes[len(bv.headSnap.headTimes)-1]
 }
 
-func (bv blockView) timestamps() []int64 {
+func (bv blockView) timestamps() ([]int64, error) {
 	if bv.sealed != nil {
 		return bv.sealed.decodeTimes()
 	}
-	return bv.headSnap.headTimes
+	return bv.headSnap.headTimes, nil
 }
 
-func (bv blockView) channel(m sensors.Metric) []float64 {
+func (bv blockView) channel(m sensors.Metric) ([]float64, error) {
 	if bv.sealed != nil {
 		return bv.sealed.decodeChannel(m)
 	}
-	return bv.headSnap.headVals[m]
+	return bv.headSnap.headVals[m], nil
+}
+
+// mustDecode is the internal-invariant backstop for the error-free query
+// surface (Query, Series, Aggregate, EachRecord): memory-born blocks are
+// correct by construction and disk-loaded blocks are checksum-verified at
+// Open, so a decode error here means in-process memory corruption or a
+// codec bug — not bad input. Callers that want errors instead of a panic
+// (e.g. streaming over untrusted segments) use Iter and check Iter.Err.
+func mustDecode[T any](v T, err error) T {
+	mustOK(err)
+	return v
+}
+
+func mustOK(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 // searchRange returns the half-open index range of times within [fromN, toN).
@@ -290,6 +311,7 @@ func (s *Store) Query(rack topology.RackID, from, to time.Time) []sensors.Record
 	for it.Next() {
 		out = append(out, it.Record())
 	}
+	mustOK(it.Err())
 	return out
 }
 
@@ -307,12 +329,12 @@ func (s *Store) Series(rack topology.RackID, m sensors.Metric, from, to time.Tim
 		if maxT < fromN || minT >= toN {
 			continue
 		}
-		ts := bv.timestamps()
+		ts := mustDecode(bv.timestamps())
 		lo, hi := searchRange(ts, fromN, toN)
 		if lo >= hi {
 			continue
 		}
-		col := bv.channel(m)
+		col := mustDecode(bv.channel(m))
 		for i := lo; i < hi; i++ {
 			times = append(times, time.Unix(0, ts[i]).In(loc))
 			vals = append(vals, col[i])
@@ -338,6 +360,7 @@ func (s *Store) EachRecordUntil(f func(sensors.Record) bool) {
 				return
 			}
 		}
+		mustOK(it.Err())
 	}
 }
 
@@ -372,6 +395,9 @@ type Stats struct {
 	// BytesPerSample is the Gorilla-style metric: compressed bytes per
 	// (timestamp, value) sample, i.e. SealedBytes / (SealedRecords × 6).
 	BytesPerSample float64
+	// DiskBytes is the on-disk footprint of the store's segment files as of
+	// the last Flush or Open; 0 for a purely in-memory store.
+	DiskBytes int64
 }
 
 // Stats reports the current footprint. Call SealAll first for a
@@ -397,5 +423,31 @@ func (s *Store) Stats() Stats {
 		st.BytesPerRecord = float64(st.SealedBytes) / float64(st.SealedRecords)
 		st.BytesPerSample = st.BytesPerRecord / float64(sensors.NumMetrics)
 	}
+	st.DiskBytes = s.diskBytes.Load()
 	return st
+}
+
+// Bounds reports the earliest and latest record timestamps across all
+// racks; ok is false for an empty store.
+func (s *Store) Bounds() (first, last time.Time, ok bool) {
+	s.init()
+	var minN, maxN int64
+	for i := range s.shards {
+		snap := s.shards[i].snapshot()
+		for _, bv := range snap.blocks() {
+			lo, hi := bv.bounds()
+			if !ok || lo < minN {
+				minN = lo
+			}
+			if !ok || hi > maxN {
+				maxN = hi
+			}
+			ok = true
+		}
+	}
+	if !ok {
+		return time.Time{}, time.Time{}, false
+	}
+	loc := s.location()
+	return time.Unix(0, minN).In(loc), time.Unix(0, maxN).In(loc), true
 }

@@ -409,3 +409,21 @@ func TestQueryEmptyRange(t *testing.T) {
 		t.Errorf("unknown rack query returned %d records", len(got))
 	}
 }
+
+// TestDownsampleWatermark mirrors the envdb test: samples skipped by
+// downsampling still advance the out-of-order watermark, so a record older
+// than a skipped sample is rejected rather than silently breaking order.
+func TestDownsampleWatermark(t *testing.T) {
+	s := NewStoreWith(Options{Downsample: 3})
+	rack := topology.RackID{Row: 0, Col: 2}
+	rng := rand.New(rand.NewSource(7))
+	if err := s.Append(synthRecord(rng, rack, base)); err != nil { // kept
+		t.Fatal(err)
+	}
+	if err := s.Append(synthRecord(rng, rack, base.Add(2*time.Minute))); err != nil { // skipped
+		t.Fatal(err)
+	}
+	if err := s.Append(synthRecord(rng, rack, base.Add(time.Minute))); err == nil {
+		t.Error("append behind a downsample-skipped sample should fail")
+	}
+}
