@@ -2,12 +2,17 @@
 # the roadmap expect before a change lands.
 GO ?= go
 
-.PHONY: check vet build test race bench smoke
+.PHONY: check vet lint build test race bench smoke
 
-check: vet build race smoke
+check: vet lint build race smoke
 
 vet:
 	$(GO) vet ./...
+
+# lint statically rejects metric registrations whose names violate the
+# mira_[a-z_]+ namespace rule (the obs registry also panics at runtime).
+lint:
+	$(GO) run scripts/lint_metrics.go
 
 build:
 	$(GO) build ./...
@@ -27,6 +32,7 @@ smoke:
 	./scripts/smoke.sh
 
 # bench reports tsdb ingest throughput, compressed bytes/sample, and
-# range-query scan performance (serial vs parallel).
+# range-query scan performance, then snapshots the numbers (plus an
+# instrumented one-week mirasim RunReport) into BENCH_tsdb.json.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/tsdb/
+	./scripts/bench.sh

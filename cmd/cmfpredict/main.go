@@ -5,23 +5,23 @@
 // Usage:
 //
 //	cmfpredict [-seed N] [-start 2016-01-01] [-end 2017-01-01]
-//	           [-tune] [-baselines]
+//	           [-tune] [-baselines] [-report report.json]
+//	           [-log-format text|json]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"mira"
 	"mira/internal/core"
+	"mira/internal/obs"
 	"mira/internal/timeutil"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cmfpredict: ")
 	var (
 		seed       = flag.Int64("seed", 77, "simulation and training seed")
 		startStr   = flag.String("start", "2016-01-01", "telemetry window start (failure-dense 2016 by default)")
@@ -30,16 +30,19 @@ func main() {
 		baselines  = flag.Bool("baselines", false, "also evaluate threshold and logistic baselines")
 		location   = flag.Bool("location", false, "evaluate the system-level location predictor")
 		mitigation = flag.Bool("mitigation", false, "price prediction-triggered checkpointing")
+		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
+		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	logg := obs.NewLogger(os.Stderr, *logFormat, "cmfpredict")
 
 	start, err := time.ParseInLocation("2006-01-02", *startStr, timeutil.Chicago)
 	if err != nil {
-		log.Fatalf("bad -start: %v", err)
+		logg.Fatalf("bad -start: %v", err)
 	}
 	end, err := time.ParseInLocation("2006-01-02", *endStr, timeutil.Chicago)
 	if err != nil {
-		log.Fatalf("bad -end: %v", err)
+		logg.Fatalf("bad -end: %v", err)
 	}
 
 	fmt.Printf("simulating %s .. %s at the coolant monitor's 300 s cadence...\n", *startStr, *endStr)
@@ -49,7 +52,7 @@ func main() {
 	}
 	study, err := mira.RunStudy(studyCfg)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	fmt.Printf("captured %d pre-CMF windows and %d quiet windows\n\n",
 		len(study.PositiveWindows()), len(study.NegativeWindows()))
@@ -58,12 +61,12 @@ func main() {
 	if *tune {
 		ds, err := study.BuildPredictorDataset(time.Hour, *seed)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Println("running Bayesian-optimization architecture search...")
 		hidden, err := core.TuneArchitecture(ds, core.Config{Seed: *seed, Epochs: 25}, 8)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("selected hidden layers: %v (paper default: [12 12 6])\n\n", hidden)
 		cfg.Hidden = hidden
@@ -71,7 +74,7 @@ func main() {
 
 	points, err := study.Fig13Predictor(cfg)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	fmt.Println("5-fold cross-validated performance vs lead time (Fig. 13):")
 	fmt.Println("lead    accuracy  precision  recall   F1      FPR")
@@ -85,12 +88,12 @@ func main() {
 	if *location || *mitigation {
 		predictor, err := study.TrainPredictor(time.Hour, mira.PredictorConfig{Seed: *seed + 10})
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		if *location {
 			rep, err := study.EvaluateLocation(predictor, 0.9)
 			if err != nil {
-				log.Fatal(err)
+				logg.Fatalf("%v", err)
 			}
 			fmt.Println("\nsystem-level location prediction (paper: a stated improvement direction):")
 			fmt.Printf("  incidents evaluated: %d\n", rep.Evaluated)
@@ -101,7 +104,7 @@ func main() {
 		if *mitigation {
 			rep, err := study.EvaluateMitigation(predictor, mira.MitigationConfig{})
 			if err != nil {
-				log.Fatal(err)
+				logg.Fatalf("%v", err)
 			}
 			fmt.Println("\nproactive mitigation (paper §VI-B: checkpoint on warning):")
 			fmt.Printf("  incidents: %d; warned ≥30 min ahead: %.0f%%; mean warning: %v\n",
@@ -116,21 +119,21 @@ func main() {
 		fmt.Println("\nbaselines at a 2 h lead:")
 		ds, err := study.BuildPredictorDataset(2*time.Hour, *seed+1)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		nnConf, err := core.CrossValidate(ds, core.Config{Seed: *seed + 2}, 5)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("  neural network (delta features): %v\n", nnConf)
 		thr, err := core.FitThresholdBaseline(ds, 2)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("  threshold monitor:                %v\n", thr.Evaluate(ds))
 		logit, err := core.TrainLogisticBaseline(ds, core.Config{Seed: *seed + 3})
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("  logistic regression:              %v\n", logit.Evaluate(ds))
 
@@ -143,5 +146,12 @@ func main() {
 				fmt.Println("  [paper §VI-D: the change in metric values, not their level, carries the signal]")
 			}
 		}
+	}
+
+	if *reportPath != "" {
+		if err := obs.WriteRunReport(*reportPath); err != nil {
+			logg.Fatalf("-report: %v", err)
+		}
+		logg.Infof("run report written to %s", *reportPath)
 	}
 }

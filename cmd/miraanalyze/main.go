@@ -4,7 +4,8 @@
 // Usage:
 //
 //	miraanalyze [-seed N] [-step 15m] [-figure all|2|3|...|15]
-//	            [-from out.csv] [-data dir]
+//	            [-from out.csv] [-data dir] [-report report.json]
+//	            [-log-format text|json]
 //
 // A full run at -step 15m takes under a minute; -step 300s matches the
 // coolant monitor's native cadence and takes a few minutes. -data reopens
@@ -18,13 +19,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
 
 	"mira"
 	"mira/internal/analysis"
+	"mira/internal/obs"
 	"mira/internal/ras"
 	"mira/internal/report"
 	"mira/internal/sim"
@@ -34,23 +35,26 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("miraanalyze: ")
 	var (
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		step    = flag.Duration("step", 15*time.Minute, "simulation tick")
-		figure  = flag.String("figure", "all", "which figure to print (1..15, pue, or all)")
-		fromCSV = flag.String("from", "", "analyze an exported telemetry CSV instead of simulating (figures 3/7/8/9 only)")
-		dataDir = flag.String("data", "", "analyze a persisted telemetry store (figures 3/7/8/9; cold start simulates once and persists)")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		step       = flag.Duration("step", 15*time.Minute, "simulation tick")
+		figure     = flag.String("figure", "all", "which figure to print (1..15, pue, or all)")
+		fromCSV    = flag.String("from", "", "analyze an exported telemetry CSV instead of simulating (figures 3/7/8/9 only)")
+		dataDir    = flag.String("data", "", "analyze a persisted telemetry store (figures 3/7/8/9; cold start simulates once and persists)")
+		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
+		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	logg = obs.NewLogger(os.Stderr, *logFormat, "miraanalyze")
 
 	if *dataDir != "" {
 		analyzeData(*dataDir, *seed, *step)
+		writeReport(*reportPath)
 		return
 	}
 	if *fromCSV != "" {
 		analyzeOffline(*fromCSV)
+		writeReport(*reportPath)
 		return
 	}
 
@@ -58,7 +62,7 @@ func main() {
 	began := time.Now()
 	study, err := mira.RunStudy(mira.StudyConfig{Seed: *seed, Step: *step})
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	fmt.Printf("simulation finished in %v\n\n", time.Since(began).Round(time.Second))
 
@@ -112,6 +116,23 @@ func main() {
 	if want("pue") || *figure == "all" {
 		printEfficiency(study)
 	}
+	writeReport(*reportPath)
+}
+
+// logg is the process-wide diagnostic logger; figure output stays on
+// stdout so exported figures remain diffable across provenance paths.
+var logg *obs.Logger
+
+// writeReport snapshots every metric to a RunReport JSON file when
+// -report is set.
+func writeReport(path string) {
+	if path == "" {
+		return
+	}
+	if err := obs.WriteRunReport(path); err != nil {
+		logg.Fatalf("-report: %v", err)
+	}
+	logg.Infof("run report written to %s", path)
 }
 
 func printEfficiency(s *mira.Study) {
@@ -136,28 +157,30 @@ func analyzeData(dir string, seed int64, step time.Duration) {
 	db, err := tsdb.Open(dir, tsdb.Options{})
 	switch {
 	case err == nil:
+		db.ExposeGauges(nil)
 		st := db.Stats()
 		fmt.Printf("warm start: loaded %d telemetry records from %s (%.1f MiB on disk)\n",
 			db.Len(), dir, float64(st.DiskBytes)/(1<<20))
 	case errors.Is(err, tsdb.ErrNoData):
 		fmt.Printf("cold start: no segments under %s; simulating 2014-2019 (seed %d, step %v)...\n", dir, seed, step)
 		db = tsdb.NewStore()
+		db.ExposeGauges(nil)
 		rec := sim.NewEnvDBRecorder(db)
 		s := sim.New(sim.Config{Seed: seed, Start: timeutil.ProductionStart, End: timeutil.ProductionEnd, Step: step})
 		s.AddRecorder(rec)
 		if err := s.Run(); err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		if rec.Err != nil {
-			log.Fatalf("telemetry recording: %v", rec.Err)
+			logg.Fatalf("telemetry recording: %v", rec.Err)
 		}
 		if err := db.Flush(dir); err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("persisted %d telemetry records to %s (%.1f MiB on disk)\n",
 			db.Len(), dir, float64(db.Stats().DiskBytes)/(1<<20))
 	default:
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	fmt.Println()
 	analyzeStore(db)
@@ -168,14 +191,15 @@ func analyzeData(dir string, seed int64, step time.Duration) {
 func analyzeOffline(path string) {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	defer f.Close()
 	db := tsdb.NewStore()
 	if err := db.ImportCSV(f); err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	db.SealAll()
+	db.ExposeGauges(nil)
 	st := db.Stats()
 	fmt.Printf("loaded %d telemetry records from %s (%.1f MiB compressed, %.2f B/sample)\n\n",
 		db.Len(), path, float64(st.SealedBytes)/(1<<20), st.BytesPerSample)

@@ -6,22 +6,31 @@
 // Usage:
 //
 //	miramon [-seed N] [-train-days 120] [-watch-days 45] [-data dir]
+//	        [-listen :8080] [-report report.json] [-log-format text|json]
 //
 // With -data, a cold run persists the watched telemetry to segment files;
 // a warm run (segments already present) skips the simulation and instead
 // replays the persisted telemetry through the threshold monitor and the
 // aggregation summary.
+//
+// -listen turns miramon into a long-running monitor: /metrics, /healthz,
+// and /debug/pprof serve from startup, and after the demo finishes the
+// process stays up so the final counters remain scrapeable. If the -data
+// store is corrupt, a listening miramon reports 503 on /healthz and keeps
+// serving instead of exiting.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"mira"
+	"mira/internal/analysis"
 	"mira/internal/core"
+	"mira/internal/obs"
 	"mira/internal/sensors"
 	"mira/internal/sim"
 	"mira/internal/timeutil"
@@ -35,6 +44,7 @@ type watcher struct {
 	sim.NopRecorder
 	predictor *core.Predictor
 	step      time.Duration
+	logg      *obs.Logger
 
 	rings    map[topology.RackID][]sensors.Record
 	warnings int
@@ -42,8 +52,8 @@ type watcher struct {
 	events   []string
 }
 
-func newWatcher(p *core.Predictor, step time.Duration) *watcher {
-	return &watcher{predictor: p, step: step, rings: make(map[topology.RackID][]sensors.Record)}
+func newWatcher(p *core.Predictor, step time.Duration, logg *obs.Logger) *watcher {
+	return &watcher{predictor: p, step: step, logg: logg, rings: make(map[topology.RackID][]sensors.Record)}
 }
 
 func (w *watcher) OnSample(rec sensors.Record) {
@@ -57,6 +67,7 @@ func (w *watcher) OnSample(rec sensors.Record) {
 	// Classic threshold monitoring.
 	if alarms := sensors.DefaultThresholds().Check(rec); len(alarms) > 0 {
 		w.warnings++
+		w.logg.Debugf("%s threshold alarm: %s", rec.Time.Format("2006-01-02 15:04"), alarms[0].Reason)
 		if len(w.events) < 400 {
 			w.events = append(w.events, fmt.Sprintf("%s THRESHOLD %s", rec.Time.Format("2006-01-02 15:04"), alarms[0].Reason))
 		}
@@ -66,6 +77,7 @@ func (w *watcher) OnSample(rec sensors.Record) {
 		if f, err := core.DeltaFeatures(ring, w.step, 0); err == nil {
 			if p := w.predictor.Probability(f); p > 0.9 {
 				w.alerts++
+				w.logg.Warnf("%s NN early warning: rack %v p=%.2f", rec.Time.Format("2006-01-02 15:04"), rec.Rack, p)
 				if len(w.events) < 400 {
 					w.events = append(w.events, fmt.Sprintf("%s NN-EARLY-WARNING rack %v p=%.2f", rec.Time.Format("2006-01-02 15:04"), rec.Rack, p))
 				}
@@ -75,6 +87,8 @@ func (w *watcher) OnSample(rec sensors.Record) {
 }
 
 func (w *watcher) OnIncident(inc sim.Incident) {
+	w.logg.Warnf("%s CMF at %v: %d racks down, %d jobs killed",
+		inc.Time.Format("2006-01-02 15:04"), inc.Epicenter, len(inc.Racks), inc.JobsKilled)
 	if len(w.events) < 400 {
 		w.events = append(w.events, fmt.Sprintf("%s *** CMF at %v, %d racks down, %d jobs killed ***",
 			inc.Time.Format("2006-01-02 15:04"), inc.Epicenter, len(inc.Racks), inc.JobsKilled))
@@ -82,24 +96,43 @@ func (w *watcher) OnIncident(inc sim.Incident) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("miramon: ")
 	var (
-		seed      = flag.Int64("seed", 99, "seed")
-		trainDays = flag.Int("train-days", 150, "days of telemetry to train the early-warning model on")
-		watchDays = flag.Int("watch-days", 45, "days of telemetry to monitor")
-		dataDir   = flag.String("data", "", "persist watched telemetry to segment files; on a warm open, replay them instead of simulating")
+		seed       = flag.Int64("seed", 99, "seed")
+		trainDays  = flag.Int("train-days", 150, "days of telemetry to train the early-warning model on")
+		watchDays  = flag.Int("watch-days", 45, "days of telemetry to monitor")
+		dataDir    = flag.String("data", "", "persist watched telemetry to segment files; on a warm open, replay them instead of simulating")
+		listen     = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address and stay up after the demo (e.g. :8080)")
+		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
+		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	logg := obs.NewLogger(os.Stderr, *logFormat, "miramon")
+
+	if *listen != "" {
+		addr, err := obs.Serve(*listen)
+		if err != nil {
+			logg.Fatalf("-listen %s: %v", *listen, err)
+		}
+		logg.Infof("serving /metrics, /healthz, and /debug/pprof on %s", addr)
+	}
 
 	if *dataDir != "" {
 		db, err := tsdb.Open(*dataDir, tsdb.Options{})
-		if err == nil {
-			replayAudit(db, *dataDir)
+		switch {
+		case err == nil:
+			db.ExposeGauges(nil)
+			replayAudit(db, *dataDir, logg)
+			finish(logg, *listen, *reportPath)
 			return
-		}
-		if !errors.Is(err, tsdb.ErrNoData) {
-			log.Fatal(err)
+		case errors.Is(err, tsdb.ErrCorrupt) && *listen != "":
+			// A long-running monitor should surface corruption on
+			// /healthz, not die: scrapers see the 503 and the error text.
+			obs.SetHealth(err)
+			logg.Errorf("store under %s is corrupt; serving unhealthy: %v", *dataDir, err)
+			finish(logg, *listen, *reportPath)
+			return
+		case !errors.Is(err, tsdb.ErrNoData):
+			logg.Fatalf("%v", err)
 		}
 		// Cold start: run the live demo below and persist at the end.
 	}
@@ -110,11 +143,11 @@ func main() {
 	fmt.Printf("training the early-warning model on %d simulated days...\n", *trainDays)
 	study, err := mira.RunStudy(mira.StudyConfig{Seed: *seed, Start: trainStart, End: trainEnd})
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	predictor, err := study.TrainPredictor(time.Hour, mira.PredictorConfig{Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	fmt.Printf("trained on %d pre-CMF and %d quiet windows\n\n", len(study.PositiveWindows()), len(study.NegativeWindows()))
 
@@ -122,7 +155,7 @@ func main() {
 	watchStart := trainEnd
 	watchEnd := watchStart.AddDate(0, 0, *watchDays)
 	fmt.Printf("monitoring %s .. %s...\n\n", watchStart.Format("2006-01-02"), watchEnd.Format("2006-01-02"))
-	w := newWatcher(predictor, timeutil.SampleInterval)
+	w := newWatcher(predictor, timeutil.SampleInterval, logg)
 	s := sim.New(sim.Config{Seed: *seed, Start: trainStart, End: watchEnd})
 	// Replay includes the training period for scheduler continuity; only
 	// report the watch window.
@@ -131,13 +164,14 @@ func main() {
 	// Keep the watched telemetry queryable in the compressed store so the
 	// summary can aggregate it without re-running the simulation.
 	db := tsdb.NewStore()
+	db.ExposeGauges(nil)
 	dbRec := sim.NewEnvDBRecorder(db)
 	s.AddRecorder(&gate{inner: dbRec, from: watchStart})
 	if err := s.Run(); err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	if dbRec.Err != nil {
-		log.Fatalf("telemetry recording: %v", dbRec.Err)
+		logg.Fatalf("telemetry recording: %v", dbRec.Err)
 	}
 
 	for _, e := range w.events {
@@ -161,22 +195,51 @@ func main() {
 		fmt.Printf("  wk %s  %6.2f / %6.2f / %6.2f\n", agg.Start.Format("2006-01-02"), agg.Min, agg.Mean(), agg.Max)
 	}
 
+	summarizeAnalysis(db)
+
 	if *dataDir != "" {
 		if err := db.Flush(*dataDir); err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("\nwatched telemetry persisted to %s (%.1f MiB on disk); rerun with -data to replay without simulating\n",
 			*dataDir, float64(db.Stats().DiskBytes)/(1<<20))
 	}
+	finish(logg, *listen, *reportPath)
+}
+
+// finish writes the RunReport if requested, then either exits (no -listen)
+// or parks the process so the metrics surface outlives the demo.
+func finish(logg *obs.Logger, listen, reportPath string) {
+	if reportPath != "" {
+		if err := obs.WriteRunReport(reportPath); err != nil {
+			logg.Fatalf("-report: %v", err)
+		}
+		logg.Infof("run report written to %s", reportPath)
+	}
+	if listen != "" {
+		logg.Infof("demo finished; still serving /metrics on %s (interrupt to exit)", listen)
+		select {}
+	}
+}
+
+// summarizeAnalysis runs the rack-level coolant and ambient figures over
+// the store so the analysis-layer metrics (figure durations) are populated
+// alongside tsdb and sim series on /metrics and in the RunReport.
+func summarizeAnalysis(db *tsdb.Store) {
+	c := analysis.CollectFromStore(db)
+	fig7 := c.Fig7RackCoolant()
+	fig9 := c.Fig9RackAmbient()
+	fmt.Printf("\nrack spreads over the watch window: flow %.1f%%, inlet %.1f%%, outlet %.1f%%; most humid rack %v\n",
+		fig7.FlowSpreadPct, fig7.InletSpreadPct, fig7.OutletSpreadPct, fig9.MaxHumidityRack)
 }
 
 // replayAudit is the warm-start path: no simulation, no NN (the model
 // trains on simulated incidents) — just classic threshold monitoring and
 // the aggregation pushdown summary over the persisted telemetry.
-func replayAudit(db *tsdb.Store, dir string) {
+func replayAudit(db *tsdb.Store, dir string, logg *obs.Logger) {
 	first, last, ok := db.Bounds()
 	if !ok {
-		log.Fatalf("store under %s is empty", dir)
+		logg.Fatalf("store under %s is empty", dir)
 	}
 	st := db.Stats()
 	fmt.Printf("warm start: replaying %d persisted samples from %s (%.1f MiB on disk)\n",
@@ -201,6 +264,8 @@ func replayAudit(db *tsdb.Store, dir string) {
 		}
 		fmt.Printf("  wk %s  %6.2f / %6.2f / %6.2f\n", agg.Start.Format("2006-01-02"), agg.Min, agg.Mean(), agg.Max)
 	}
+
+	summarizeAnalysis(db)
 }
 
 // gate forwards recorder callbacks only after a cutoff time.

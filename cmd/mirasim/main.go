@@ -9,16 +9,18 @@
 // With no output flags, a run summary is printed to stdout. -data persists
 // the compressed telemetry store to per-shard segment files, which
 // miraanalyze and miramon reopen with their own -data flag instead of
-// re-running the simulation.
+// re-running the simulation. -listen serves /metrics, /healthz, and pprof
+// live while the simulation runs; -report snapshots every metric to a JSON
+// RunReport at exit.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
+	"mira/internal/obs"
 	"mira/internal/sim"
 	"mira/internal/timeutil"
 	"mira/internal/tsdb"
@@ -26,9 +28,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mirasim: ")
-
 	var (
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		startStr   = flag.String("start", "2014-01-01", "window start (YYYY-MM-DD)")
@@ -38,29 +37,42 @@ func main() {
 		dataDir    = flag.String("data", "", "persist the telemetry store to segment files under this directory")
 		telemetry  = flag.String("telemetry", "", "write telemetry CSV to this file")
 		rasOut     = flag.String("ras", "", "write the deduplicated failure log to this file")
+		listen     = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address while the run is live (e.g. :8080)")
+		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
+		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	logg := obs.NewLogger(os.Stderr, *logFormat, "mirasim")
 
 	start, err := time.ParseInLocation("2006-01-02", *startStr, timeutil.Chicago)
 	if err != nil {
-		log.Fatalf("bad -start: %v", err)
+		logg.Fatalf("bad -start: %v", err)
 	}
 	end, err := time.ParseInLocation("2006-01-02", *endStr, timeutil.Chicago)
 	if err != nil {
-		log.Fatalf("bad -end: %v", err)
+		logg.Fatalf("bad -end: %v", err)
 	}
 
 	db := tsdb.NewStoreWith(tsdb.Options{Downsample: *downsample})
+	db.ExposeGauges(nil)
+	if *listen != "" {
+		addr, err := obs.Serve(*listen)
+		if err != nil {
+			logg.Fatalf("-listen %s: %v", *listen, err)
+		}
+		logg.Infof("serving /metrics, /healthz, and /debug/pprof on %s", addr)
+	}
+
 	rec := sim.NewEnvDBRecorder(db)
 	s := sim.New(sim.Config{Seed: *seed, Start: start, End: end, Step: *step})
 	s.AddRecorder(rec)
 
 	began := time.Now()
 	if err := s.Run(); err != nil {
-		log.Fatal(err)
+		logg.Fatalf("%v", err)
 	}
 	if rec.Err != nil {
-		log.Fatalf("telemetry recording: %v", rec.Err)
+		logg.Fatalf("telemetry recording: %v", rec.Err)
 	}
 	elapsed := time.Since(began)
 
@@ -84,7 +96,7 @@ func main() {
 
 	if *dataDir != "" {
 		if err := db.Flush(*dataDir); err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("telemetry persisted to %s (%.1f MiB on disk)\n",
 			*dataDir, float64(db.Stats().DiskBytes)/(1<<20))
@@ -92,27 +104,33 @@ func main() {
 	if *telemetry != "" {
 		f, err := os.Create(*telemetry)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		if err := db.ExportCSV(f); err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("telemetry written to %s\n", *telemetry)
 	}
 	if *rasOut != "" {
 		f, err := os.Create(*rasOut)
 		if err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		for _, e := range append(cmfs, nonCMF...) {
 			fmt.Fprintln(f, e)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			logg.Fatalf("%v", err)
 		}
 		fmt.Printf("failure log written to %s\n", *rasOut)
+	}
+	if *reportPath != "" {
+		if err := obs.WriteRunReport(*reportPath); err != nil {
+			logg.Fatalf("-report: %v", err)
+		}
+		logg.Infof("run report written to %s", *reportPath)
 	}
 }

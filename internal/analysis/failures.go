@@ -25,6 +25,7 @@ type CMFPerYear struct {
 
 // Fig10CMFPerYear applies the paper's dedup methodology to the RAS log.
 func Fig10CMFPerYear(log *ras.Log) CMFPerYear {
+	defer timed("fig10_cmf_per_year")()
 	events := log.DedupCMF()
 	byYear := ras.CountByYear(events)
 	out := CMFPerYear{Total: len(events)}
@@ -62,6 +63,7 @@ type CMFPerRack struct {
 
 // Fig11CMFPerRack combines the deduped log with the collector's rack means.
 func Fig11CMFPerRack(log *ras.Log, c *Collector) CMFPerRack {
+	defer timed("fig11_cmf_per_rack")()
 	events := log.DedupCMF()
 	out := CMFPerRack{Counts: ras.CountByRack(events)}
 	counts := make([]float64, topology.NumRacks)
@@ -114,6 +116,7 @@ type LeadUp struct {
 // Fig12LeadUp averages the epicenter pre-CMF windows captured by the
 // incident recorder. step is the simulation tick length.
 func Fig12LeadUp(windows []sim.Window, incidents []sim.Incident, step time.Duration) LeadUp {
+	defer timed("fig12_lead_up")()
 	// Epicenter windows only: cascade racks lack the local flow collapse.
 	epi := make(map[topology.RackID]map[time.Time]bool)
 	for _, inc := range incidents {
@@ -197,6 +200,7 @@ type PostCMF struct {
 
 // Fig14PostCMF measures post-CMF failure rates from the RAS log.
 func Fig14PostCMF(log *ras.Log) PostCMF {
+	defer timed("fig14_post_cmf")()
 	cmfs := log.DedupCMF()
 	nonCMF := log.DedupNonCMF()
 	out := PostCMF{
@@ -276,6 +280,7 @@ type SpatialExample struct {
 
 // Fig15PostCMFSpatial measures follow-on locations.
 func Fig15PostCMFSpatial(log *ras.Log, incidents []sim.Incident) PostCMFSpatial {
+	defer timed("fig15_post_cmf_spatial")()
 	nonCMF := log.DedupNonCMF()
 	var out PostCMFSpatial
 	var distSum float64

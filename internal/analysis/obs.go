@@ -1,0 +1,20 @@
+package analysis
+
+import (
+	"time"
+
+	"mira/internal/obs"
+)
+
+// metFigDur records how long each figure's aggregation takes, labeled by
+// figure, so slow panels stand out on /metrics and in RunReports.
+var metFigDur = obs.NewHistogramVec("mira_analysis_figure_duration_seconds",
+	"wall-clock time to compute one figure's aggregates, labeled by figure", "figure", nil)
+
+// timed starts the figure clock; defer the returned func:
+//
+//	defer timed("fig9_rack_ambient")()
+func timed(figure string) func() {
+	start := time.Now()
+	return func() { metFigDur.With(figure).ObserveSince(start) }
+}

@@ -16,6 +16,7 @@ import (
 // utilization-dependent panels of Figs. 2, 4–6 read NaN while every
 // coolant/ambient figure (3, 7, 8, 9) is fully usable.
 func CollectFromStore(db envdb.DB) *Collector {
+	defer timed("collect_from_store")()
 	c := NewCollector()
 	// Records are stored rack-major; group them into ticks by instant.
 	// Keys are UnixNano, not time.Time: the == on time.Time compares wall

@@ -196,6 +196,7 @@ func WriteCSV(w io.Writer, db RecordVisitor) error {
 			return false
 		}
 		rows++
+		metCSVWritten.Inc()
 		if rows%csvFlushEvery == 0 {
 			cw.Flush()
 			if err = cw.Error(); err != nil {
@@ -246,6 +247,7 @@ func ReadCSV(r io.Reader, dst Appender) error {
 		if err := dst.Append(rec); err != nil {
 			return fmt.Errorf("envdb: line %d: %w", line, err)
 		}
+		metCSVRead.Inc()
 	}
 }
 

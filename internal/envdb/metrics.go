@@ -1,0 +1,13 @@
+package envdb
+
+import "mira/internal/obs"
+
+// CSV interchange counters: rows actually committed (written past the csv
+// buffer, or appended into the destination store), so a failed transfer
+// shows how far it got.
+var (
+	metCSVWritten = obs.NewCounter("mira_envdb_csv_rows_written_total",
+		"data rows emitted by WriteCSV, excluding the header")
+	metCSVRead = obs.NewCounter("mira_envdb_csv_rows_read_total",
+		"data rows parsed and appended by ReadCSV")
+)

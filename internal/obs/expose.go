@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered family in the Prometheus text
+// exposition format (version 0.0.4): families in name order, children in
+// label order, one HELP/TYPE pair per family, label values and help text
+// escaped. Scrape hooks run first so scrape-time gauges are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runScrapes()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		values, metrics := f.sortedChildren()
+		if len(metrics) == 0 {
+			continue // a vec with no children yet exposes nothing
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		for i, m := range metrics {
+			writeMetric(bw, f, values[i], m)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeMetric(bw *bufio.Writer, f *family, labelValue string, m any) {
+	switch v := m.(type) {
+	case *Counter:
+		writeSample(bw, f.name, "", f.labelKey, labelValue, "", strconv.FormatUint(v.Value(), 10))
+	case *Gauge:
+		writeSample(bw, f.name, "", f.labelKey, labelValue, "", formatFloat(v.Value()))
+	case *Histogram:
+		buckets := v.snapshotBuckets()
+		for i, b := range v.bounds {
+			writeSample(bw, f.name, "_bucket", f.labelKey, labelValue,
+				formatFloat(b), strconv.FormatUint(buckets[i], 10))
+		}
+		writeSample(bw, f.name, "_bucket", f.labelKey, labelValue, "+Inf",
+			strconv.FormatUint(buckets[len(buckets)-1], 10))
+		writeSample(bw, f.name, "_sum", f.labelKey, labelValue, "", formatFloat(v.Sum()))
+		writeSample(bw, f.name, "_count", f.labelKey, labelValue, "", strconv.FormatUint(v.Count(), 10))
+	}
+}
+
+// writeSample writes one exposition line. le is the bucket bound rendering
+// for _bucket lines ("" otherwise).
+func writeSample(bw *bufio.Writer, name, suffix, labelKey, labelValue, le, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labelKey != "" || le != "" {
+		bw.WriteByte('{')
+		if labelKey != "" {
+			bw.WriteString(labelKey)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(labelValue))
+			bw.WriteByte('"')
+			if le != "" {
+				bw.WriteByte(',')
+			}
+		}
+		if le != "" {
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

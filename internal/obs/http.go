@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTPHandler returns the observability surface:
+//
+//	/metrics       Prometheus text exposition of every registered family
+//	/healthz       200 "ok" while healthy, 503 + error text after SetHealth
+//	/debug/pprof/  the standard net/http/pprof profiles (heap, profile,
+//	               goroutine, trace, ...)
+//	/              a plain index of the above
+//
+// The pprof handlers are mounted explicitly so the surface works on this
+// private mux without touching http.DefaultServeMux.
+func (r *Registry) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := r.Health(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "mira observability surface\n\n/metrics\n/healthz\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts the observability surface on addr (":8080", "127.0.0.1:0",
+// ...) in a background goroutine and returns the bound address — useful
+// with port 0. The listener lives for the rest of the process; cmds exit by
+// process termination, so there is no Shutdown plumbing.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.HTTPHandler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve starts the default registry's surface on addr.
+func Serve(addr string) (string, error) { return defaultRegistry.Serve(addr) }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGoldenExposition pins the Prometheus text format byte for byte:
+// family ordering, HELP/TYPE lines, cumulative histogram buckets, and
+// label escaping all live in this golden string.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mira_test_events_total", "events seen").Add(3)
+	r.GaugeVec("mira_test_temp", `temp with \slash`, "rack").With(`r"1\x`).Set(1.5)
+	h := r.Histogram("mira_test_dur_seconds", "durations", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.5) // equal to a bound counts inside that bucket
+	h.Observe(2)
+
+	want := strings.Join([]string{
+		"# HELP mira_test_dur_seconds durations",
+		"# TYPE mira_test_dur_seconds histogram",
+		`mira_test_dur_seconds_bucket{le="0.5"} 2`,
+		`mira_test_dur_seconds_bucket{le="1"} 2`,
+		`mira_test_dur_seconds_bucket{le="+Inf"} 3`,
+		"mira_test_dur_seconds_sum 2.75",
+		"mira_test_dur_seconds_count 3",
+		"# HELP mira_test_events_total events seen",
+		"# TYPE mira_test_events_total counter",
+		"mira_test_events_total 3",
+		`# HELP mira_test_temp temp with \\slash`,
+		"# TYPE mira_test_temp gauge",
+		`mira_test_temp{rack="r\"1\\x"} 1.5`,
+		"",
+	}, "\n")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestEmptyVecExposesNothing(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("mira_test_unused_total", "never incremented", "op")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty vec produced output:\n%s", buf.String())
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"mira_tsdb_append_total": true,
+		"mira_a":                 true,
+		"tsdb_append_total":      false, // missing prefix
+		"mira_Append":            false, // upper case
+		"mira_a__b":              false, // doubled underscore
+		"mira_a_":                false, // trailing underscore
+		"mira_a1":                false, // digits are reserved for label values
+		"":                       false,
+	} {
+		if got := ValidMetricName(name); got != want {
+			t.Errorf("ValidMetricName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mira_test_dup", "first help wins")
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad name", func() { r.Counter("bad_name", "x") })
+	mustPanic("type mismatch", func() { r.Gauge("mira_test_dup", "x") })
+	mustPanic("label mismatch", func() { r.CounterVec("mira_test_dup", "x", "op") })
+	mustPanic("bad label key", func() { r.CounterVec("mira_test_lbl", "x", "Op") })
+	mustPanic("unsorted buckets", func() { r.Histogram("mira_test_unsorted", "x", []float64{2, 1}) })
+}
+
+// TestReRegistrationSharesState verifies that registering the same name
+// twice returns the same underlying metric — what lets ExposeGauges be
+// called repeatedly against one registry.
+func TestReRegistrationSharesState(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("mira_test_shared_total", "a")
+	b := r.Counter("mira_test_shared_total", "ignored; first help wins")
+	a.Inc()
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Errorf("shared counter = %d, want 3", got)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Errorf("gauge = %v, want 1.0", got)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mira_test_default_seconds", "x", nil)
+	h.Observe(0.3)
+	if got, want := len(h.bounds), len(DurationBuckets); got != want {
+		t.Fatalf("default bucket count = %d, want %d", got, want)
+	}
+	if h.Count() != 1 || h.Sum() != 0.3 {
+		t.Errorf("count=%d sum=%v, want 1 and 0.3", h.Count(), h.Sum())
+	}
+}
+
+func TestOnScrapeRefreshesGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("mira_test_depth", "refreshed at scrape time")
+	depth := 7.0
+	r.OnScrape(func() { g.Set(depth) })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mira_test_depth 7") {
+		t.Errorf("scrape hook did not run:\n%s", buf.String())
+	}
+	depth = 9
+	if rep := r.Snapshot(); rep.Gauges["mira_test_depth"] != 9 {
+		t.Errorf("snapshot gauge = %v, want 9", rep.Gauges["mira_test_depth"])
+	}
+}

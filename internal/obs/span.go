@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"time"
+)
+
+// Trace spans: a span is a named, timed region of work ("tsdb.flush",
+// "analysis.fig9"). Ending a span feeds the registry's
+// mira_span_duration_seconds histogram (labeled by span name) and, when an
+// event log is attached, appends one structured JSON line — enough to see
+// where a run's wall clock went without a tracing backend.
+
+// spanNameRE keeps span names label-safe and grep-able.
+var spanNameRE = regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
+
+type spanCtxKey struct{}
+
+// ActiveSpan is an in-flight span; call End exactly once.
+type ActiveSpan struct {
+	reg    *Registry
+	name   string
+	parent string
+	start  time.Time
+}
+
+// Span starts a span on the default registry. The returned context carries
+// the span so nested spans record their parent in the event log.
+func Span(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	return defaultRegistry.Span(ctx, name)
+}
+
+// Span starts a span on this registry.
+func (r *Registry) Span(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	if !spanNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid span name %q", name))
+	}
+	s := &ActiveSpan{reg: r, name: name, start: time.Now()}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*ActiveSpan); ok {
+		s.parent = parent.name
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// End records the span's duration. Safe to call on a nil span (a no-op), so
+// callers can End unconditionally after conditional starts.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	elapsed := time.Since(s.start)
+	s.reg.spanDurations().With(s.name).Observe(elapsed.Seconds())
+	s.reg.logSpanEvent(s, elapsed)
+}
+
+// spanDurations lazily registers the span histogram family.
+func (r *Registry) spanDurations() *HistogramVec {
+	return r.HistogramVec("mira_span_duration_seconds",
+		"wall-clock duration of trace spans, labeled by span name", "span", nil)
+}
+
+// SetEventLog attaches a writer that receives one JSON line per completed
+// span: {"ts","span","parent","seconds"}. Pass nil to detach. Writes are
+// serialized; the writer does not need to be concurrency-safe.
+func (r *Registry) SetEventLog(w io.Writer) {
+	r.eventMu.Lock()
+	r.eventLog = w
+	r.eventMu.Unlock()
+}
+
+// SetEventLog attaches the span event log on the default registry.
+func SetEventLog(w io.Writer) { defaultRegistry.SetEventLog(w) }
+
+// spanEvent is the JSON schema of one event-log line.
+type spanEvent struct {
+	TS      string  `json:"ts"`
+	Span    string  `json:"span"`
+	Parent  string  `json:"parent,omitempty"`
+	Seconds float64 `json:"seconds"`
+}
+
+func (r *Registry) logSpanEvent(s *ActiveSpan, elapsed time.Duration) {
+	r.eventMu.Lock()
+	defer r.eventMu.Unlock()
+	if r.eventLog == nil {
+		return
+	}
+	line, err := json.Marshal(spanEvent{
+		TS:      s.start.UTC().Format(time.RFC3339Nano),
+		Span:    s.name,
+		Parent:  s.parent,
+		Seconds: elapsed.Seconds(),
+	})
+	if err != nil {
+		return // a span name is always marshalable; defensive only
+	}
+	r.eventLog.Write(append(line, '\n'))
+}

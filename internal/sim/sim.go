@@ -16,6 +16,7 @@ import (
 	"mira/internal/airflow"
 	"mira/internal/cooling"
 	"mira/internal/failure"
+	"mira/internal/obs"
 	"mira/internal/power"
 	"mira/internal/ras"
 	"mira/internal/scheduler"
@@ -25,6 +26,28 @@ import (
 	"mira/internal/units"
 	"mira/internal/weather"
 	"mira/internal/workload"
+)
+
+// Simulator throughput metrics. Ticks/sec is the rate of
+// mira_sim_ticks_total; mira_sim_day_wallclock_seconds tracks how much wall
+// clock one simulated day costs, the twin's headline speed number; the
+// recorder fan-out histogram isolates time spent delivering telemetry to
+// recorders (tsdb ingest, collectors, watchers) from the physics itself.
+var (
+	metTicks = obs.NewCounter("mira_sim_ticks_total",
+		"simulation ticks stepped across all runs in the process")
+	metSamples = obs.NewCounter("mira_sim_samples_total",
+		"coolant-monitor samples emitted to recorders")
+	metIncidents = obs.NewCounter("mira_sim_incidents_total",
+		"counted coolant-monitor-failure incidents")
+	metTickDur = obs.NewHistogram("mira_sim_tick_duration_seconds",
+		"wall-clock time per simulation tick", nil)
+	metDayWall = obs.NewHistogram("mira_sim_day_wallclock_seconds",
+		"wall-clock time per completed simulated day", nil)
+	metFanout = obs.NewHistogram("mira_sim_recorder_fanout_seconds",
+		"per-tick wall-clock time spent in recorder callbacks", nil)
+	metSimTime = obs.NewGauge("mira_sim_time_seconds",
+		"current simulated instant as unix seconds, for watch-mode progress")
 )
 
 // Incident is one counted coolant-monitor failure: an epicenter detected by
@@ -232,14 +255,33 @@ func (s *Simulator) Run() error {
 	if !s.cfg.End.After(s.cfg.Start) {
 		return fmt.Errorf("sim: empty window %v .. %v", s.cfg.Start, s.cfg.End)
 	}
+	// Day accounting: observe the wall clock each completed simulated day
+	// costs, keyed on the simulated calendar day rolling over.
+	curDay := int64(-1)
+	dayWall := time.Now()
 	for now := s.cfg.Start; now.Before(s.cfg.End); now = now.Add(s.cfg.Step) {
+		tickWall := time.Now()
 		s.step(now)
+		metTickDur.ObserveSince(tickWall)
+		metTicks.Inc()
+		metSimTime.Set(float64(now.Unix()))
+		if day := now.Unix() / 86400; day != curDay {
+			if curDay >= 0 {
+				metDayWall.ObserveSince(dayWall)
+			}
+			curDay = day
+			dayWall = time.Now()
+		}
 	}
 	return nil
 }
 
 // step advances one tick.
 func (s *Simulator) step(now time.Time) {
+	// fanout accumulates wall clock spent inside recorder callbacks this
+	// tick, separating telemetry delivery cost from the physics models.
+	var fanout time.Duration
+	defer func() { metFanout.Observe(fanout.Seconds()) }()
 	// 1. Workload and scheduling.
 	s.sched.Submit(s.gen.Arrivals(now, s.cfg.Step))
 	s.sched.Step(now)
@@ -251,9 +293,11 @@ func (s *Simulator) step(now time.Time) {
 	// 3. System-level power and utilization.
 	sysPower := s.powerM.SystemPower(snap, now)
 	util := s.sched.SystemUtilization(now)
+	tickFan := time.Now()
 	for _, r := range s.recorders {
 		r.OnTick(now, sysPower, util)
 	}
+	fanout += time.Since(tickFan)
 
 	// 4. Ambient base conditions from the outdoor weather.
 	outdoor := s.wx.At(now)
@@ -308,9 +352,12 @@ func (s *Simulator) step(now time.Time) {
 			Power: rackPower,
 		}
 		measured := s.monitors[i].Sample(truth)
+		metSamples.Inc()
+		sampleFan := time.Now()
 		for _, r := range s.recorders {
 			r.OnSample(measured)
 		}
+		fanout += time.Since(sampleFan)
 
 		alarms := s.thresh.Check(measured)
 		for _, a := range alarms {
@@ -355,6 +402,7 @@ func (s *Simulator) triggerCMF(epicenter topology.RackID, now time.Time) {
 	}
 	inc.JobsKilled = killed
 	s.incidents = append(s.incidents, inc)
+	metIncidents.Inc()
 
 	// Follow-on non-CMF failures over the next 48 hours.
 	s.pending = append(s.pending, s.engine.PostCMFEvents(now)...)

@@ -3,6 +3,7 @@ package tsdb
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mira/internal/sensors"
 )
@@ -52,6 +53,7 @@ type headBlock struct {
 // the integer delta encoding (~2 bytes/value on noisy sensor data); the
 // rest — including channels configured for raw precision — use Gorilla XOR.
 func sealHead(h *headBlock, scales [sensors.NumMetrics]float64) *sealedBlock {
+	defer metSealDur.ObserveSince(time.Now())
 	b := &sealedBlock{
 		minT:  h.times[0],
 		maxT:  h.times[len(h.times)-1],
@@ -101,6 +103,7 @@ func (b *sealedBlock) wrap(what string, err error) error {
 }
 
 func (b *sealedBlock) decodeTimes() ([]int64, error) {
+	metDecode.Inc()
 	ts, err := decodeTimes(b.times, b.count)
 	if err != nil {
 		return nil, b.wrap("timestamps", err)
@@ -111,6 +114,7 @@ func (b *sealedBlock) decodeTimes() ([]int64, error) {
 // decodeChannel materializes one value column — the unit of decompression
 // work, so single-metric reads (Series, Aggregate) skip five sixths of it.
 func (b *sealedBlock) decodeChannel(m sensors.Metric) ([]float64, error) {
+	metDecode.Inc()
 	c := b.ch[m]
 	if c.enc == encXOR {
 		out, err := decodeXOR(c.data, b.count)

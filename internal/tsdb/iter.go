@@ -145,6 +145,7 @@ func (w WindowAgg) Mean() float64 {
 // the whole range. Empty windows are included with Count 0.
 func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) []WindowAgg {
 	s.init()
+	defer metQueryDur.With(opAggregate).ObserveSince(time.Now())
 	fromN, toN := from.UnixNano(), to.UnixNano()
 	if toN <= fromN {
 		return nil

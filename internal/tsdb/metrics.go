@@ -1,0 +1,84 @@
+package tsdb
+
+// Observability instrumentation of the storage engine. Hot-path metrics
+// (append, decode) are single lock-free atomic adds on the obs default
+// registry — cheap enough for the ingest path (see BenchmarkAppend, whose
+// before/after numbers scripts/bench.sh records in BENCH_tsdb.json).
+// Footprint metrics are scrape-time gauges refreshed by ExposeGauges, so
+// they cost nothing between scrapes.
+
+import (
+	"fmt"
+
+	"mira/internal/obs"
+	"mira/internal/topology"
+)
+
+var (
+	metAppend = obs.NewCounter("mira_tsdb_append_total",
+		"records accepted by Store.Append across all stores in the process")
+	metOutOfOrder = obs.NewCounter("mira_tsdb_out_of_order_dropped_total",
+		"records rejected by Store.Append for violating per-rack time order")
+	metSealDur = obs.NewHistogram("mira_tsdb_block_seal_duration_seconds",
+		"time to compress one head block into an immutable sealed block", nil)
+	metFlushBytes = obs.NewCounter("mira_tsdb_flush_bytes_written_total",
+		"segment bytes written to disk by Store.Flush")
+	metDecode = obs.NewCounter("mira_tsdb_block_decode_total",
+		"compressed payload decodes (one timestamp stream or value column each)")
+	metQueryDur = obs.NewHistogramVec("mira_tsdb_query_duration_seconds",
+		"latency of the read surface, labeled by operation", "op", nil)
+)
+
+// ExposeGauges registers scrape-time gauges describing this store's
+// footprint on reg (nil selects the obs default registry): record counts,
+// sealed/head/disk bytes, compression ratio, and one
+// mira_tsdb_shard_samples{shard} gauge per rack so ingest skew across the
+// 48 shards is visible at a glance. The gauges refresh from Store.Stats on
+// every scrape or report snapshot; expose the store a process serves (last
+// registration wins when several stores share a registry).
+func (s *Store) ExposeGauges(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	var (
+		records      = reg.Gauge("mira_tsdb_records", "stored samples across all racks (sealed + head)")
+		sealedBlocks = reg.Gauge("mira_tsdb_sealed_blocks", "immutable compressed blocks across all shards")
+		sealedBytes  = reg.Gauge("mira_tsdb_sealed_bytes", "compressed payload bytes of all sealed blocks")
+		headBytes    = reg.Gauge("mira_tsdb_head_bytes", "uncompressed columnar head footprint in bytes")
+		diskBytes    = reg.Gauge("mira_tsdb_disk_bytes", "segment-file footprint as of the last Flush or Open")
+		perSample    = reg.Gauge("mira_tsdb_compressed_bytes_per_sample", "sealed bytes per (timestamp, value) sample")
+		shardSamples = reg.GaugeVec("mira_tsdb_shard_samples", "stored samples per shard (rack), for ingest-skew checks", "shard")
+	)
+	reg.OnScrape(func() {
+		st := s.Stats()
+		records.Set(float64(st.Records))
+		sealedBlocks.Set(float64(st.SealedBlocks))
+		sealedBytes.Set(float64(st.SealedBytes))
+		headBytes.Set(float64(st.HeadBytes))
+		diskBytes.Set(float64(st.DiskBytes))
+		perSample.Set(st.BytesPerSample)
+		for i, n := range s.shardTotals() {
+			shardSamples.With(fmt.Sprintf("%02d", i)).Set(float64(n))
+		}
+	})
+}
+
+// shardTotals reads each shard's stored-record count under its read lock.
+func (s *Store) shardTotals() [topology.NumRacks]int {
+	var out [topology.NumRacks]int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out[i] = sh.total
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// queryOp names for metQueryDur, kept as constants so the label set stays
+// closed.
+const (
+	opQuery     = "query"
+	opSeries    = "series"
+	opAggregate = "aggregate"
+)

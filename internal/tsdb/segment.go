@@ -36,6 +36,7 @@ package tsdb
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -46,6 +47,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"mira/internal/obs"
 	"mira/internal/sensors"
 	"mira/internal/topology"
 )
@@ -79,6 +81,8 @@ func segFileName(shard int) string { return fmt.Sprintf("shard-%02d.seg", shard)
 // reflects the written footprint afterwards.
 func (s *Store) Flush(dir string) error {
 	s.init()
+	_, span := obs.Span(context.Background(), "tsdb.flush")
+	defer span.End()
 	s.SealAll()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("tsdb: flush: %w", err)
@@ -97,6 +101,7 @@ func (s *Store) Flush(dir string) error {
 		disk += n
 	}
 	s.diskBytes.Store(disk)
+	metFlushBytes.Add(uint64(disk))
 	return nil
 }
 

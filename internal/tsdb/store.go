@@ -144,9 +144,11 @@ func (s *Store) Append(r sensors.Record) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.hasLast && t < sh.lastT {
+		metOutOfOrder.Inc()
 		return fmt.Errorf("tsdb: out-of-order record for rack %v: %v before %v",
 			r.Rack, r.Time, time.Unix(0, sh.lastT).In(s.location()))
 	}
+	metAppend.Inc()
 	// The monotonicity watermark advances for every accepted record, kept
 	// or not: with Downsample > 1, an out-of-order record landing between
 	// two skipped samples must still be rejected.
@@ -222,12 +224,14 @@ type snapshot struct {
 	sealed    []*sealedBlock
 	headTimes []int64
 	headVals  [sensors.NumMetrics][]float64
+	// total is the shard's stored-record count at snapshot time (Stats).
+	total int
 }
 
 func (sh *shard) snapshot() snapshot {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	snap := snapshot{sealed: sh.sealed[:len(sh.sealed):len(sh.sealed)]}
+	snap := snapshot{sealed: sh.sealed[:len(sh.sealed):len(sh.sealed)], total: sh.total}
 	if sh.head != nil {
 		n := len(sh.head.times)
 		snap.headTimes = sh.head.times[:n:n]
@@ -306,6 +310,7 @@ func searchRange(times []int64, fromN, toN int64) (lo, hi int) {
 // values; see Options.Precision.
 func (s *Store) Query(rack topology.RackID, from, to time.Time) []sensors.Record {
 	s.init()
+	defer metQueryDur.With(opQuery).ObserveSince(time.Now())
 	out := []sensors.Record{}
 	it := s.Iter(rack, from, to)
 	for it.Next() {
@@ -319,6 +324,7 @@ func (s *Store) Query(rack topology.RackID, from, to time.Time) []sensors.Record
 // times/values slices, decompressing only that metric's column.
 func (s *Store) Series(rack topology.RackID, m sensors.Metric, from, to time.Time) ([]time.Time, []float64) {
 	s.init()
+	defer metQueryDur.With(opSeries).ObserveSince(time.Now())
 	loc := s.location()
 	fromN, toN := from.UnixNano(), to.UnixNano()
 	snap := s.shards[rack.Index()].snapshot()
@@ -402,22 +408,26 @@ type Stats struct {
 
 // Stats reports the current footprint. Call SealAll first for a
 // fully-compressed view.
+//
+// Stats never blocks ingest beyond the snapshot instant: each shard's read
+// lock is held only long enough to copy the block-list header (the same
+// snapshot the query surface takes), and the per-block byte accounting —
+// slice-length sums over already-compressed payloads, never a decode —
+// runs lock-free afterwards. ExposeGauges republishes these numbers as
+// scrape-time gauges, so live processes should scrape /metrics instead of
+// polling this one-shot struct.
 func (s *Store) Stats() Stats {
 	s.init()
 	var st Stats
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		st.Records += sh.total
-		st.SealedBlocks += len(sh.sealed)
-		for _, b := range sh.sealed {
+		snap := s.shards[i].snapshot()
+		st.Records += snap.total
+		st.SealedBlocks += len(snap.sealed)
+		for _, b := range snap.sealed {
 			st.SealedRecords += b.count
 			st.SealedBytes += b.payloadBytes()
 		}
-		if sh.head != nil {
-			st.HeadBytes += int64(len(sh.head.times)) * 8 * (1 + int64(sensors.NumMetrics))
-		}
-		sh.mu.RUnlock()
+		st.HeadBytes += int64(len(snap.headTimes)) * 8 * (1 + int64(sensors.NumMetrics))
 	}
 	if st.SealedRecords > 0 {
 		st.BytesPerRecord = float64(st.SealedBytes) / float64(st.SealedRecords)

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Benchmark snapshot: runs the tsdb microbenchmarks plus a short
+# instrumented mirasim run, and composes both into BENCH_tsdb.json —
+# the machine-readable perf trajectory the roadmap tracks across PRs.
+# Usage: scripts/bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_tsdb.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go test -run '^$' -bench . -benchmem -count 1 ./internal/tsdb/ | tee "$tmp/bench.txt"
+
+# One simulated week with the observability surface on; its RunReport
+# (every counter, gauge, and histogram at exit) is embedded verbatim.
+go build -o "$tmp/mirasim" ./cmd/mirasim
+"$tmp/mirasim" -start 2014-03-01 -end 2014-03-08 -report "$tmp/report.json" >/dev/null
+
+# go test bench lines look like:
+#   BenchmarkAppend-8  3078037  383.8 ns/op  307 B/op  0 allocs/op
+# Units seen after the iteration count become JSON fields.
+awk '
+	/^Benchmark/ {
+		printf "%s{\"name\":\"%s\",\"iterations\":%s", sep, $1, $2
+		for (i = 3; i < NF; i += 2) {
+			unit = $(i + 1)
+			gsub("/", "_per_", unit)
+			gsub("%", "pct", unit)
+			printf ",\"%s\":%s", unit, $i
+		}
+		printf "}"
+		sep = ",\n    "
+	}
+' "$tmp/bench.txt" >"$tmp/benchmarks.json"
+
+{
+	printf '{\n'
+	printf '  "schema": "mira-bench/v1",\n'
+	printf '  "generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "benchmarks": [\n    '
+	cat "$tmp/benchmarks.json"
+	printf '\n  ],\n'
+	printf '  "run_report": '
+	sed 's/^/  /' "$tmp/report.json" | sed '1s/^  //'
+	printf '\n}\n'
+} >"$out"
+
+echo "bench: wrote $out"

@@ -1,0 +1,84 @@
+// Command lint_metrics statically enforces the repository's metric
+// namespace rule: every metric registered through internal/obs must match
+// mira_[a-z_]+ with no double or trailing underscores, and counters must
+// end in _total. The obs registry panics on bad names at runtime; this
+// gate (run by `make lint`, part of `make check`) catches them before any
+// code path executes.
+//
+// Usage: go run scripts/lint_metrics.go [root]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// registrationRE matches obs registration sites in source form:
+// obs.NewCounter("name", ...), reg.GaugeVec("name", ...), and so on. The
+// capture groups are the metric kind and the literal name.
+var registrationRE = regexp.MustCompile(`\.(?:New)?(Counter|Gauge|Histogram)(Vec)?\(\s*"([^"]+)"`)
+
+var nameRE = regexp.MustCompile(`^mira_[a-z_]+$`)
+
+func lintName(kind, name string) string {
+	switch {
+	case !nameRE.MatchString(name):
+		return "must match mira_[a-z_]+"
+	case strings.Contains(name, "__"):
+		return "must not contain '__'"
+	case strings.HasSuffix(name, "_"):
+		return "must not end in '_'"
+	case kind == "Counter" && !strings.HasSuffix(name, "_total"):
+		return "counters must end in _total"
+	}
+	return ""
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	bad := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "scripts" || name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range registrationRE.FindAllStringSubmatch(line, -1) {
+				kind, name := m[1], m[3]
+				if msg := lintName(kind, name); msg != "" {
+					fmt.Fprintf(os.Stderr, "%s:%d: metric %q: %s\n", path, i+1, name, msg)
+					bad++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint_metrics:", err)
+		os.Exit(2)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lint_metrics: %d bad metric name(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("lint_metrics: ok")
+}
