@@ -4,8 +4,8 @@
 // Usage:
 //
 //	miraanalyze [-seed N] [-step 15m] [-figure all|2|3|...|15]
-//	            [-from out.csv] [-data dir] [-report report.json]
-//	            [-log-format text|json]
+//	            [-from out.csv] [-data dir] [-scan-workers N]
+//	            [-report report.json] [-log-format text|json]
 //
 // A full run at -step 15m takes under a minute; -step 300s matches the
 // coolant monitor's native cadence and takes a few minutes. -data reopens
@@ -36,24 +36,25 @@ import (
 
 func main() {
 	var (
-		seed       = flag.Int64("seed", 42, "simulation seed")
-		step       = flag.Duration("step", 15*time.Minute, "simulation tick")
-		figure     = flag.String("figure", "all", "which figure to print (1..15, pue, or all)")
-		fromCSV    = flag.String("from", "", "analyze an exported telemetry CSV instead of simulating (figures 3/7/8/9 only)")
-		dataDir    = flag.String("data", "", "analyze a persisted telemetry store (figures 3/7/8/9; cold start simulates once and persists)")
-		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
-		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
+		seed        = flag.Int64("seed", 42, "simulation seed")
+		step        = flag.Duration("step", 15*time.Minute, "simulation tick")
+		figure      = flag.String("figure", "all", "which figure to print (1..15, pue, or all)")
+		fromCSV     = flag.String("from", "", "analyze an exported telemetry CSV instead of simulating (figures 3/7/8/9 only)")
+		dataDir     = flag.String("data", "", "analyze a persisted telemetry store (figures 3/7/8/9; cold start simulates once and persists)")
+		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+		scanWorkers = flag.Int("scan-workers", 0, "decode workers for parallel store scans on the offline paths (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	logg = obs.NewLogger(os.Stderr, *logFormat, "miraanalyze")
 
 	if *dataDir != "" {
-		analyzeData(*dataDir, *seed, *step)
+		analyzeData(*dataDir, *seed, *step, *scanWorkers, *figure)
 		writeReport(*reportPath)
 		return
 	}
 	if *fromCSV != "" {
-		analyzeOffline(*fromCSV)
+		analyzeOffline(*fromCSV, *scanWorkers, *figure)
 		writeReport(*reportPath)
 		return
 	}
@@ -153,7 +154,7 @@ func printEfficiency(s *mira.Study) {
 // telemetry store. A warm open skips the simulation entirely; a cold start
 // (no segments yet) simulates once, persists, then analyzes the same
 // store — so cold and warm invocations print identical figures.
-func analyzeData(dir string, seed int64, step time.Duration) {
+func analyzeData(dir string, seed int64, step time.Duration, scanWorkers int, figure string) {
 	db, err := tsdb.Open(dir, tsdb.Options{})
 	switch {
 	case err == nil:
@@ -183,12 +184,12 @@ func analyzeData(dir string, seed int64, step time.Duration) {
 		logg.Fatalf("%v", err)
 	}
 	fmt.Println()
-	analyzeStore(db)
+	analyzeStore(db, scanWorkers, figure)
 }
 
 // analyzeOffline regenerates the coolant/ambient figures from an exported
 // telemetry CSV (see cmd/mirasim -telemetry).
-func analyzeOffline(path string) {
+func analyzeOffline(path string, scanWorkers int, figure string) {
 	f, err := os.Open(path)
 	if err != nil {
 		logg.Fatalf("%v", err)
@@ -203,40 +204,83 @@ func analyzeOffline(path string) {
 	st := db.Stats()
 	fmt.Printf("loaded %d telemetry records from %s (%.1f MiB compressed, %.2f B/sample)\n\n",
 		db.Len(), path, float64(st.SealedBytes)/(1<<20), st.BytesPerSample)
-	analyzeStore(db)
+	analyzeStore(db, scanWorkers, figure)
 }
 
 // analyzeStore prints the offline figures (3/7/8/9) from a telemetry
 // store, however it was produced (CSV import, warm segment open, or a
-// fresh simulation).
-func analyzeStore(db *tsdb.Store) {
-	c := analysis.CollectFromStore(db)
-
-	fig3 := c.Fig3CoolantTimeline()
-	fig7 := c.Fig7RackCoolant()
-	header("Fig. 3 — Coolant timeline (offline)")
-	// Downsampled exports thin each tick's rack coverage, so reconstruct
-	// the plant flow from the per-rack means instead of per-tick sums.
-	var plantFlow float64
-	for _, f := range fig7.FlowGPM {
-		plantFlow += f
+// fresh simulation). The replay streams the store's parallel merged scan
+// through the collector on scanWorkers decode goroutines; when only
+// Figs. 7/9 are requested, per-rack means come straight from compressed
+// columns via aggregation pushdown and the replay is skipped entirely.
+func analyzeStore(db *tsdb.Store, scanWorkers int, figure string) {
+	want := func(f string) bool { return figure == "all" || figure == f }
+	if !want("3") && !want("7") && !want("8") && !want("9") {
+		fmt.Printf("figure %s needs utilization or incident data; offline stores carry figures 3, 7, 8, and 9\n", figure)
+		return
 	}
-	fmt.Printf("plant flow: %.0f GPM mean; inlet σ %.2f F, outlet σ %.2f F\n",
-		plantFlow, fig3.InletStd, fig3.OutletStd)
-	fmt.Println()
 
+	if !want("3") && !want("8") {
+		// Pushdown fast path: Figs. 7 and 9 need only per-rack means, and
+		// the pushdown results are bit-identical to a full replay.
+		if want("7") {
+			fig7, err := analysis.Fig7CoolantPushdown(db)
+			if err != nil {
+				logg.Fatalf("%v", err)
+			}
+			printOfflineFig7(fig7)
+		}
+		if want("9") {
+			fig9, err := analysis.Fig9AmbientPushdown(db)
+			if err != nil {
+				logg.Fatalf("%v", err)
+			}
+			printOfflineFig9(fig9)
+		}
+		return
+	}
+
+	c := analysis.CollectFromStoreParallel(db, scanWorkers)
+
+	if want("3") {
+		fig3 := c.Fig3CoolantTimeline()
+		fig7 := c.Fig7RackCoolant()
+		header("Fig. 3 — Coolant timeline (offline)")
+		// Downsampled exports thin each tick's rack coverage, so reconstruct
+		// the plant flow from the per-rack means instead of per-tick sums.
+		var plantFlow float64
+		for _, f := range fig7.FlowGPM {
+			plantFlow += f
+		}
+		fmt.Printf("plant flow: %.0f GPM mean; inlet σ %.2f F, outlet σ %.2f F\n",
+			plantFlow, fig3.InletStd, fig3.OutletStd)
+		fmt.Println()
+	}
+	if want("7") {
+		printOfflineFig7(c.Fig7RackCoolant())
+	}
+	if want("8") {
+		fig8 := c.Fig8AmbientTimeline()
+		header("Fig. 8 — Ambient timeline (offline)")
+		fmt.Printf("temperature σ %.2f F; humidity σ %.2f RH\n", fig8.TempStd, fig8.HumStd)
+		fmt.Println()
+	}
+	if want("9") {
+		printOfflineFig9(c.Fig9RackAmbient())
+	}
+}
+
+// printOfflineFig7 and printOfflineFig9 are shared by the replay and
+// pushdown paths, so `-figure 7` output diffs clean against the full run.
+func printOfflineFig7(fig7 analysis.RackCoolant) {
 	header("Fig. 7 — Rack coolant (offline)")
 	fmt.Printf("spreads: flow %.1f%%, inlet %.1f%%, outlet %.1f%%\n",
 		fig7.FlowSpreadPct, fig7.InletSpreadPct, fig7.OutletSpreadPct)
 	fmt.Print(report.RackHeatmap(fig7.FlowGPM))
 	fmt.Println()
+}
 
-	fig8 := c.Fig8AmbientTimeline()
-	header("Fig. 8 — Ambient timeline (offline)")
-	fmt.Printf("temperature σ %.2f F; humidity σ %.2f RH\n", fig8.TempStd, fig8.HumStd)
-	fmt.Println()
-
-	fig9 := c.Fig9RackAmbient()
+func printOfflineFig9(fig9 analysis.RackAmbient) {
 	header("Fig. 9 — Rack ambient (offline)")
 	fmt.Printf("spreads: temperature %.1f%%, humidity %.1f%%; most humid rack %v\n",
 		fig9.TempSpreadPct, fig9.HumSpreadPct, fig9.MaxHumidityRack)

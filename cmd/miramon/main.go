@@ -97,13 +97,14 @@ func (w *watcher) OnIncident(inc sim.Incident) {
 
 func main() {
 	var (
-		seed       = flag.Int64("seed", 99, "seed")
-		trainDays  = flag.Int("train-days", 150, "days of telemetry to train the early-warning model on")
-		watchDays  = flag.Int("watch-days", 45, "days of telemetry to monitor")
-		dataDir    = flag.String("data", "", "persist watched telemetry to segment files; on a warm open, replay them instead of simulating")
-		listen     = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address and stay up after the demo (e.g. :8080)")
-		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
-		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
+		seed        = flag.Int64("seed", 99, "seed")
+		trainDays   = flag.Int("train-days", 150, "days of telemetry to train the early-warning model on")
+		watchDays   = flag.Int("watch-days", 45, "days of telemetry to monitor")
+		dataDir     = flag.String("data", "", "persist watched telemetry to segment files; on a warm open, replay them instead of simulating")
+		listen      = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address and stay up after the demo (e.g. :8080)")
+		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+		scanWorkers = flag.Int("scan-workers", 0, "decode workers for parallel store scans (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	logg := obs.NewLogger(os.Stderr, *logFormat, "miramon")
@@ -121,7 +122,7 @@ func main() {
 		switch {
 		case err == nil:
 			db.ExposeGauges(nil)
-			replayAudit(db, *dataDir, logg)
+			replayAudit(db, *dataDir, *scanWorkers, logg)
 			finish(logg, *listen, *reportPath)
 			return
 		case errors.Is(err, tsdb.ErrCorrupt) && *listen != "":
@@ -188,14 +189,18 @@ func main() {
 		db.Len(), float64(st.SealedBytes)/(1<<20), st.BytesPerSample)
 	hot := topology.RackID{Row: 1, Col: 8} // the paper's humidity hotspot
 	fmt.Printf("rack %v inlet °F by week (min / mean / max, aggregation pushdown):\n", hot)
-	for _, agg := range db.Aggregate(hot, sensors.MetricInletTemp, watchStart, watchEnd, 7*24*time.Hour) {
+	aggs, err := db.Aggregate(hot, sensors.MetricInletTemp, watchStart, watchEnd, 7*24*time.Hour)
+	if err != nil {
+		logg.Fatalf("aggregate: %v", err)
+	}
+	for _, agg := range aggs {
 		if agg.Count == 0 {
 			continue
 		}
 		fmt.Printf("  wk %s  %6.2f / %6.2f / %6.2f\n", agg.Start.Format("2006-01-02"), agg.Min, agg.Mean(), agg.Max)
 	}
 
-	summarizeAnalysis(db)
+	summarizeAnalysis(db, *scanWorkers)
 
 	if *dataDir != "" {
 		if err := db.Flush(*dataDir); err != nil {
@@ -225,8 +230,8 @@ func finish(logg *obs.Logger, listen, reportPath string) {
 // summarizeAnalysis runs the rack-level coolant and ambient figures over
 // the store so the analysis-layer metrics (figure durations) are populated
 // alongside tsdb and sim series on /metrics and in the RunReport.
-func summarizeAnalysis(db *tsdb.Store) {
-	c := analysis.CollectFromStore(db)
+func summarizeAnalysis(db *tsdb.Store, workers int) {
+	c := analysis.CollectFromStoreParallel(db, workers)
 	fig7 := c.Fig7RackCoolant()
 	fig9 := c.Fig9RackAmbient()
 	fmt.Printf("\nrack spreads over the watch window: flow %.1f%%, inlet %.1f%%, outlet %.1f%%; most humid rack %v\n",
@@ -236,7 +241,7 @@ func summarizeAnalysis(db *tsdb.Store) {
 // replayAudit is the warm-start path: no simulation, no NN (the model
 // trains on simulated incidents) — just classic threshold monitoring and
 // the aggregation pushdown summary over the persisted telemetry.
-func replayAudit(db *tsdb.Store, dir string, logg *obs.Logger) {
+func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) {
 	first, last, ok := db.Bounds()
 	if !ok {
 		logg.Fatalf("store under %s is empty", dir)
@@ -248,24 +253,34 @@ func replayAudit(db *tsdb.Store, dir string, logg *obs.Logger) {
 
 	thresholds := sensors.DefaultThresholds()
 	warnings := 0
-	db.EachRecord(func(r sensors.Record) {
+	// The merged scan decodes shards in parallel and — unlike EachRecord —
+	// returns decode failures instead of panicking, which suits a replay
+	// over disk-loaded segments.
+	if err := db.EachRecordMerged(workers, func(r sensors.Record) bool {
 		if len(thresholds.Check(r)) > 0 {
 			warnings++
 		}
-	})
+		return true
+	}); err != nil {
+		logg.Fatalf("scan: %v", err)
+	}
 	fmt.Printf("threshold alarms over the stored window: %d\n", warnings)
 	fmt.Println("(NN early warnings need a live run: the model trains on simulated incidents)")
 
 	hot := topology.RackID{Row: 1, Col: 8} // the paper's humidity hotspot
 	fmt.Printf("\nrack %v inlet °F by week (min / mean / max, aggregation pushdown):\n", hot)
-	for _, agg := range db.Aggregate(hot, sensors.MetricInletTemp, first, last.Add(time.Nanosecond), 7*24*time.Hour) {
+	aggs, err := db.Aggregate(hot, sensors.MetricInletTemp, first, last.Add(time.Nanosecond), 7*24*time.Hour)
+	if err != nil {
+		logg.Fatalf("aggregate: %v", err)
+	}
+	for _, agg := range aggs {
 		if agg.Count == 0 {
 			continue
 		}
 		fmt.Printf("  wk %s  %6.2f / %6.2f / %6.2f\n", agg.Start.Format("2006-01-02"), agg.Min, agg.Mean(), agg.Max)
 	}
 
-	summarizeAnalysis(db)
+	summarizeAnalysis(db, workers)
 }
 
 // gate forwards recorder callbacks only after a cutoff time.

@@ -2,9 +2,12 @@ package analysis
 
 import (
 	"sort"
+	"time"
 
 	"mira/internal/envdb"
 	"mira/internal/sensors"
+	"mira/internal/stats"
+	"mira/internal/topology"
 	"mira/internal/units"
 )
 
@@ -14,15 +17,85 @@ import (
 // exported traces. System power is reconstructed as the sum of rack powers
 // per tick; utilization is unavailable offline, so the
 // utilization-dependent panels of Figs. 2, 4–6 read NaN while every
-// coolant/ambient figure (3, 7, 8, 9) is fully usable.
+// coolant/ambient figure (3, 7, 8, 9) is fully usable. It is
+// CollectFromStoreParallel with the default worker count.
 func CollectFromStore(db envdb.DB) *Collector {
+	return CollectFromStoreParallel(db, 0)
+}
+
+// CollectFromStoreParallel replays db through a Collector using `workers`
+// shard-decode goroutines when the store supports merged scans (<= 0
+// selects GOMAXPROCS). The replay itself is a streaming run-length pass
+// over the time-ordered merge: peak buffering is one tick — at most one
+// record per rack — regardless of trace length. Stores without the
+// ShardScanner capability fall back to the buffering replay (O(trace)
+// memory).
+func CollectFromStoreParallel(db envdb.DB, workers int) *Collector {
 	defer timed("collect_from_store")()
 	c := NewCollector()
-	// Records are stored rack-major; group them into ticks by instant.
-	// Keys are UnixNano, not time.Time: the == on time.Time compares wall
-	// clock and location too, so identical instants from different sources
-	// (Chicago-simulated vs UTC CSV-reimported telemetry) would split into
-	// separate ticks and corrupt the reconstructed system power.
+	if ss, ok := db.(envdb.ShardScanner); ok {
+		if _, err := replayMerged(ss, workers, c); err != nil {
+			// The replay surface is error-free; a merged-scan failure means
+			// in-process corruption — the same invariant the tsdb query
+			// surface treats as panic-worthy.
+			panic(err)
+		}
+	} else {
+		replayGrouped(db, c)
+	}
+	c.Finalize()
+	return c
+}
+
+// replayMerged streams a merged (global time order, rack-ascending within
+// an instant) scan through the collector, grouping consecutive equal
+// timestamps into ticks. It returns the peak tick-buffer length so tests
+// can pin the O(racks) memory bound.
+//
+// Grouping keys are UnixNano, not time.Time: == on time.Time compares
+// wall clock and location too, so identical instants from different
+// sources (Chicago-simulated vs UTC CSV-reimported telemetry) would split
+// into separate ticks and corrupt the reconstructed system power.
+func replayMerged(ss envdb.ShardScanner, workers int, c *Collector) (maxTick int, err error) {
+	tick := make([]sensors.Record, 0, topology.NumRacks)
+	flush := func() {
+		if len(tick) == 0 {
+			return
+		}
+		var totalPower units.Watts
+		for _, r := range tick {
+			totalPower += r.Power
+		}
+		c.OnTick(tick[0].Time, totalPower, nanUtil)
+		for _, r := range tick {
+			c.OnSample(r)
+		}
+		if len(tick) > maxTick {
+			maxTick = len(tick)
+		}
+		tick = tick[:0]
+	}
+	var curN int64
+	err = ss.EachRecordMerged(workers, func(r sensors.Record) bool {
+		if k := r.Time.UnixNano(); len(tick) == 0 || k != curN {
+			flush()
+			curN = k
+		}
+		tick = append(tick, r)
+		return true
+	})
+	if err != nil {
+		return maxTick, err
+	}
+	flush()
+	return maxTick, nil
+}
+
+// replayGrouped is the fallback for stores without merged scans: buffer
+// the whole trace, group records into ticks by instant, and replay in
+// sorted order. O(trace) memory — kept only for envdb.DB implementations
+// outside this module.
+func replayGrouped(db envdb.DB, c *Collector) {
 	byTick := make(map[int64][]sensors.Record)
 	var order []int64
 	db.EachRecord(func(r sensors.Record) {
@@ -44,8 +117,6 @@ func CollectFromStore(db envdb.DB) *Collector {
 			c.OnSample(r)
 		}
 	}
-	c.Finalize()
-	return c
 }
 
 // nanUtil marks utilization as unknown in offline mode.
@@ -53,3 +124,101 @@ var nanUtil = func() float64 {
 	var zero float64
 	return zero / zero // NaN
 }()
+
+// rackMeansPushdown computes each rack's whole-trace mean of one metric
+// via aggregation pushdown: one single-window Aggregate per rack, so only
+// that metric's compressed column is decoded and no records are
+// materialized. The per-rack fold order (block by block, in time order)
+// matches the collector's accumulation order, so the means are
+// bit-identical to a full replay.
+func rackMeansPushdown(db envdb.Aggregator, m sensors.Metric, from, to time.Time) ([]float64, error) {
+	out := make([]float64, topology.NumRacks)
+	for i := range out {
+		aggs, err := db.Aggregate(topology.RackByIndex(i), m, from, to, 0)
+		if err != nil {
+			return nil, err
+		}
+		if len(aggs) == 0 {
+			out[i] = nanUtil
+			continue
+		}
+		out[i] = aggs[0].Mean()
+	}
+	return out, nil
+}
+
+// Fig7CoolantPushdown computes the Fig. 7 panels straight from compressed
+// columns, skipping record materialization and the replay entirely — the
+// fast path when only per-rack means are needed. Results are
+// bit-identical to Fig7RackCoolant after a full replay of the same store.
+func Fig7CoolantPushdown(db envdb.Aggregator) (RackCoolant, error) {
+	defer timed("fig7_rack_coolant_pushdown")()
+	first, last, ok := db.Bounds()
+	if !ok {
+		return RackCoolant{}, nil
+	}
+	to := last.Add(time.Nanosecond)
+	flow, err := rackMeansPushdown(db, sensors.MetricFlow, first, to)
+	if err != nil {
+		return RackCoolant{}, err
+	}
+	inlet, err := rackMeansPushdown(db, sensors.MetricInletTemp, first, to)
+	if err != nil {
+		return RackCoolant{}, err
+	}
+	outlet, err := rackMeansPushdown(db, sensors.MetricOutletTemp, first, to)
+	if err != nil {
+		return RackCoolant{}, err
+	}
+	return RackCoolant{
+		FlowGPM: flow, InletF: inlet, OutletF: outlet,
+		FlowSpreadPct:   stats.SpreadPercent(flow),
+		InletSpreadPct:  stats.SpreadPercent(inlet),
+		OutletSpreadPct: stats.SpreadPercent(outlet),
+	}, nil
+}
+
+// Fig9AmbientPushdown computes the Fig. 9 panels via aggregation
+// pushdown; bit-identical to Fig9RackAmbient after a full replay of the
+// same store.
+func Fig9AmbientPushdown(db envdb.Aggregator) (RackAmbient, error) {
+	defer timed("fig9_rack_ambient_pushdown")()
+	first, last, ok := db.Bounds()
+	if !ok {
+		return RackAmbient{}, nil
+	}
+	to := last.Add(time.Nanosecond)
+	temp, err := rackMeansPushdown(db, sensors.MetricDCTemperature, first, to)
+	if err != nil {
+		return RackAmbient{}, err
+	}
+	hum, err := rackMeansPushdown(db, sensors.MetricDCHumidity, first, to)
+	if err != nil {
+		return RackAmbient{}, err
+	}
+	return ambientFromMeans(temp, hum), nil
+}
+
+// ambientFromMeans assembles the Fig. 9 structure from per-rack mean
+// vectors; shared by the replay and pushdown paths.
+func ambientFromMeans(temp, hum []float64) RackAmbient {
+	out := RackAmbient{
+		TempF: temp, HumidityRH: hum,
+		TempSpreadPct:   stats.SpreadPercent(temp),
+		HumSpreadPct:    stats.SpreadPercent(hum),
+		MaxHumidityRack: argmaxRack(hum),
+	}
+	var endT, endH, inT, inH []float64
+	for _, r := range topology.AllRacks() {
+		if r.DistanceFromRowEnd() < 3 {
+			endT = append(endT, temp[r.Index()])
+			endH = append(endH, hum[r.Index()])
+		} else {
+			inT = append(inT, temp[r.Index()])
+			inH = append(inH, hum[r.Index()])
+		}
+	}
+	out.RowEndTempExcess = stats.Mean(endT) - stats.Mean(inT)
+	out.RowEndHumidityDeficit = stats.Mean(inH) - stats.Mean(endH)
+	return out
+}

@@ -1,13 +1,17 @@
 package analysis
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
 	"mira/internal/envdb"
 	"mira/internal/timeutil"
 	"mira/internal/topology"
+	"mira/internal/tsdb"
 	"mira/internal/units"
 )
 
@@ -52,5 +56,105 @@ func TestCollectFromStoreMixedLocations(t *testing.T) {
 		if math.Abs(p-wantMW) > 1e-9 {
 			t.Errorf("month %d power = %v MW, want %v", i, p, wantMW)
 		}
+	}
+}
+
+// multiDayStore simulates a multi-day full-machine trace (every rack,
+// coolant-monitor cadence) into a compressed store with enough variation
+// to make every figure's aggregates non-trivial.
+func multiDayStore(t *testing.T, days int) *tsdb.Store {
+	t.Helper()
+	db := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour})
+	rng := rand.New(rand.NewSource(11))
+	start := time.Date(2015, 3, 10, 0, 0, 0, 0, timeutil.Chicago)
+	ticks := days * 288 // 300 s cadence
+	for i := 0; i < ticks; i++ {
+		ts := start.Add(time.Duration(i) * timeutil.SampleInterval)
+		for _, rack := range topology.AllRacks() {
+			r := flatRecord(ts, rack)
+			r.Flow = units.GPM(26 + rng.Float64())
+			r.InletTemp = units.Fahrenheit(64 + rng.Float64())
+			r.OutletTemp = units.Fahrenheit(79 + rng.Float64())
+			r.DCTemperature = units.Fahrenheit(80 + 2*rng.Float64())
+			r.DCHumidity = units.RelativeHumidity(30 + 4*rng.Float64())
+			r.Power = units.Watts(55000 + 100*rng.Float64())
+			if err := db.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// TestReplayMergedBoundedMemory pins the tentpole's memory bound on a
+// multi-day full-machine trace: the streaming replay's peak buffering is
+// exactly one tick — one record per rack — where the old path
+// materialized the whole trace (ticks × racks records) in a map.
+func TestReplayMergedBoundedMemory(t *testing.T) {
+	db := multiDayStore(t, 3) // 864 ticks × 48 racks ≈ 41k records
+	c := NewCollector()
+	maxTick, err := replayMerged(db, 4, c)
+	if err != nil {
+		t.Fatalf("replayMerged: %v", err)
+	}
+	c.Finalize()
+	if maxTick != topology.NumRacks {
+		t.Fatalf("peak tick buffer = %d records, want %d (one per rack)", maxTick, topology.NumRacks)
+	}
+	if got := c.Fig7RackCoolant(); len(got.FlowGPM) != topology.NumRacks {
+		t.Fatalf("replay produced %d rack means", len(got.FlowGPM))
+	}
+}
+
+// noShardScan hides the ShardScanner capability so CollectFromStore takes
+// the buffering fallback path.
+type noShardScan struct{ envdb.DB }
+
+// TestCollectFromStoreFallbackEquivalence: the streaming merged replay
+// and the legacy buffering fallback must produce identical figures from
+// the same store.
+func TestCollectFromStoreFallbackEquivalence(t *testing.T) {
+	db := multiDayStore(t, 2)
+	merged := CollectFromStoreParallel(db, 3)
+	fallback := CollectFromStore(noShardScan{db})
+
+	// Fig3/Fig8 carry NaN fields when the trace has no summer months, and
+	// NaN != NaN under DeepEqual; the %+v rendering distinguishes every
+	// non-NaN float while treating NaN as equal to itself.
+	if got, want := fmt.Sprintf("%+v", merged.Fig3CoolantTimeline()), fmt.Sprintf("%+v", fallback.Fig3CoolantTimeline()); got != want {
+		t.Errorf("Fig3 differs:\n merged  %s\n grouped %s", got, want)
+	}
+	if got, want := merged.Fig7RackCoolant(), fallback.Fig7RackCoolant(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig7 differs:\n merged  %+v\n grouped %+v", got, want)
+	}
+	if got, want := fmt.Sprintf("%+v", merged.Fig8AmbientTimeline()), fmt.Sprintf("%+v", fallback.Fig8AmbientTimeline()); got != want {
+		t.Errorf("Fig8 differs:\n merged  %s\n grouped %s", got, want)
+	}
+	if got, want := merged.Fig9RackAmbient(), fallback.Fig9RackAmbient(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig9 differs:\n merged  %+v\n grouped %+v", got, want)
+	}
+}
+
+// TestPushdownMatchesReplay: Figs. 7/9 computed via aggregation pushdown
+// (compressed columns only, no replay) must be bit-identical to the full
+// replay — same per-rack fold order, so reflect.DeepEqual, not a
+// tolerance.
+func TestPushdownMatchesReplay(t *testing.T) {
+	db := multiDayStore(t, 2)
+	c := CollectFromStoreParallel(db, 2)
+
+	fig7, err := Fig7CoolantPushdown(db)
+	if err != nil {
+		t.Fatalf("Fig7CoolantPushdown: %v", err)
+	}
+	if want := c.Fig7RackCoolant(); !reflect.DeepEqual(fig7, want) {
+		t.Errorf("Fig7 pushdown differs:\n pushdown %+v\n replay   %+v", fig7, want)
+	}
+	fig9, err := Fig9AmbientPushdown(db)
+	if err != nil {
+		t.Fatalf("Fig9AmbientPushdown: %v", err)
+	}
+	if want := c.Fig9RackAmbient(); !reflect.DeepEqual(fig9, want) {
+		t.Errorf("Fig9 pushdown differs:\n pushdown %+v\n replay   %+v", fig9, want)
 	}
 }

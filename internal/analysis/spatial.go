@@ -101,27 +101,7 @@ type RackAmbient struct {
 // Fig9RackAmbient computes the Fig. 9 panels.
 func (c *Collector) Fig9RackAmbient() RackAmbient {
 	defer timed("fig9_rack_ambient")()
-	temp := rackMeans(&c.rackTemp)
-	hum := rackMeans(&c.rackHum)
-	out := RackAmbient{
-		TempF: temp, HumidityRH: hum,
-		TempSpreadPct:   stats.SpreadPercent(temp),
-		HumSpreadPct:    stats.SpreadPercent(hum),
-		MaxHumidityRack: argmaxRack(hum),
-	}
-	var endT, endH, inT, inH []float64
-	for _, r := range topology.AllRacks() {
-		if r.DistanceFromRowEnd() < 3 {
-			endT = append(endT, temp[r.Index()])
-			endH = append(endH, hum[r.Index()])
-		} else {
-			inT = append(inT, temp[r.Index()])
-			inH = append(inH, hum[r.Index()])
-		}
-	}
-	out.RowEndTempExcess = stats.Mean(endT) - stats.Mean(inT)
-	out.RowEndHumidityDeficit = stats.Mean(inH) - stats.Mean(endH)
-	return out
+	return ambientFromMeans(rackMeans(&c.rackTemp), rackMeans(&c.rackHum))
 }
 
 func argmaxRack(vals []float64) topology.RackID {

@@ -11,6 +11,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -43,6 +44,53 @@ type DB interface {
 	ExportCSV(w io.Writer) error
 	// ImportCSV reads records in the csvHeader schema.
 	ImportCSV(r io.Reader) error
+}
+
+// ShardScanner is an optional capability of DB implementations whose
+// storage is sharded by rack: a fan-out scan that visits every record in
+// global timestamp order (ties broken by ascending rack index) instead of
+// EachRecord's rack-major order. workers bounds the number of concurrent
+// shard decoders (values <= 1 request a serial scan; implementations
+// without decode work may ignore it). The visit order is deterministic
+// for a fixed store regardless of workers. The scan stops early when f
+// returns false; unlike the panic-on-corruption EachRecord surface,
+// scan failures come back as errors.
+//
+// Consumers that need global time order (e.g. offline tick replay) should
+// type-assert for this capability and fall back to buffering EachRecord
+// output when it is absent — the DB interface itself stays minimal so
+// simple implementations keep working.
+type ShardScanner interface {
+	EachRecordMerged(workers int, f func(sensors.Record) bool) error
+}
+
+// WindowAgg is one aggregation window of an Aggregator pushdown query.
+type WindowAgg struct {
+	// Start is the window's inclusive start; the window spans one Aggregate
+	// window length.
+	Start time.Time
+	// Count is the number of samples that fell in the window.
+	Count int
+	// Min, Max, Sum summarize the metric over the window (Min/Max are NaN
+	// when Count is zero).
+	Min, Max, Sum float64
+}
+
+// Mean is Sum/Count, NaN for an empty window.
+func (w WindowAgg) Mean() float64 {
+	if w.Count == 0 {
+		return math.NaN()
+	}
+	return w.Sum / float64(w.Count)
+}
+
+// Aggregator is an optional capability of DB implementations that can
+// compute per-window min/max/sum/count of one rack's metric without
+// materializing records — aggregation pushdown straight off the storage
+// representation. Bounds scopes whole-store aggregations.
+type Aggregator interface {
+	Bounds() (first, last time.Time, ok bool)
+	Aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]WindowAgg, error)
 }
 
 // Appender is the minimal ingest surface ReadCSV needs.
@@ -152,6 +200,37 @@ func (s *Store) EachRecordUntil(f func(sensors.Record) bool) {
 			if !f(r) {
 				return
 			}
+		}
+	}
+}
+
+var _ ShardScanner = (*Store)(nil)
+
+// EachRecordMerged implements ShardScanner: a serial k-way merge over the
+// per-rack record slices, yielding the whole store in global timestamp
+// order with rack-index tie-breaking and O(racks) state — no copy of the
+// trace is ever built. The slice store has no per-shard decode work to fan
+// out, so workers is ignored.
+func (s *Store) EachRecordMerged(_ int, f func(sensors.Record) bool) error {
+	var pos [topology.NumRacks]int
+	for {
+		best := -1
+		var bestT int64
+		for i := range s.records {
+			if pos[i] >= len(s.records[i]) {
+				continue
+			}
+			if t := s.records[i][pos[i]].Time.UnixNano(); best < 0 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		r := s.records[best][pos[best]]
+		pos[best]++
+		if !f(r) {
+			return nil
 		}
 	}
 }

@@ -326,3 +326,51 @@ func TestWriteCSVStopsOnWriteError(t *testing.T) {
 		t.Error("scan walked the entire store despite a dead writer")
 	}
 }
+
+// TestEachRecordMerged: the slice store's ShardScanner must yield the
+// whole store in global time order with rack-index tie-breaking, matching
+// the contract of the compressed store's parallel scanner.
+func TestEachRecordMerged(t *testing.T) {
+	s := NewStore()
+	racks := []topology.RackID{{Row: 2, Col: 14}, {Row: 0, Col: 3}, {Row: 1, Col: 9}}
+	const ticks = 50
+	for i := 0; i < ticks; i++ {
+		ts := base.Add(time.Duration(i) * timeutil.SampleInterval)
+		for j, r := range racks {
+			// Stagger appends so per-rack slices interleave in time.
+			if i%len(racks) == j {
+				continue
+			}
+			if err := s.Append(rec(r, ts, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var prevT int64
+	prevRack := -1
+	n := 0
+	if err := s.EachRecordMerged(7, func(r sensors.Record) bool {
+		k := r.Time.UnixNano()
+		if n > 0 && (k < prevT || (k == prevT && r.Rack.Index() <= prevRack)) {
+			t.Fatalf("order violation at record %d: (%d,%d) after (%d,%d)", n, k, r.Rack.Index(), prevT, prevRack)
+		}
+		prevT, prevRack = k, r.Rack.Index()
+		n++
+		return true
+	}); err != nil {
+		t.Fatalf("EachRecordMerged: %v", err)
+	}
+	if n != s.Len() {
+		t.Fatalf("visited %d records, want %d", n, s.Len())
+	}
+
+	// Early stop.
+	n = 0
+	if err := s.EachRecordMerged(1, func(sensors.Record) bool { n++; return n < 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("early stop visited %d, want 10", n)
+	}
+}

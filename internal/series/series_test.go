@@ -229,3 +229,32 @@ func TestReservoirPanics(t *testing.T) {
 	}()
 	NewReservoir(0, 1)
 }
+
+// TestSeriesResampleTrailingPartial pins the final flush: a last bucket
+// with fewer points than the others must still be emitted, with the mean
+// of just its own points.
+func TestSeriesResampleTrailingPartial(t *testing.T) {
+	s := New("x")
+	// 7 points at 10-minute spacing; 30-minute buckets → 3, 3, and a
+	// trailing singleton.
+	for i := 0; i < 7; i++ {
+		s.Append(t0.Add(time.Duration(i)*10*time.Minute), float64(i))
+	}
+	rs := s.Resample(30 * time.Minute)
+	if rs.Len() != 3 {
+		t.Fatalf("Resample len = %d, want 3 (trailing partial bucket dropped?)", rs.Len())
+	}
+	last := rs.Points[2]
+	if last.V != 6 { // mean of the lone point 6
+		t.Errorf("trailing bucket mean = %v, want 6", last.V)
+	}
+	if want := t0.Add(time.Hour); !last.T.Equal(want) {
+		t.Errorf("trailing bucket anchored at %v, want %v", last.T, want)
+	}
+	// A single-point series is all trailing bucket.
+	one := New("y")
+	one.Append(t0, 42)
+	if rs := one.Resample(time.Hour); rs.Len() != 1 || rs.Points[0].V != 42 {
+		t.Errorf("single-point resample = %v", rs.Points)
+	}
+}

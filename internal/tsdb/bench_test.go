@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -140,8 +141,68 @@ func BenchmarkAggregate(b *testing.B) {
 	s, rack, end := benchStore(b, 120)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if aggs := s.Aggregate(rack, sensors.MetricPower, base, end, 24*time.Hour); len(aggs) == 0 {
-			b.Fatal("empty aggregate")
+		if aggs, err := s.Aggregate(rack, sensors.MetricPower, base, end, 24*time.Hour); err != nil || len(aggs) == 0 {
+			b.Fatalf("empty aggregate (err %v)", err)
 		}
+	}
+}
+
+// benchStoreAllRacks builds a sealed full-machine store: every rack,
+// days of telemetry, so merged scans exercise the 48-way heap and the
+// shard fan-out.
+func benchStoreAllRacks(b *testing.B, days int) *Store {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	s := NewStoreWith(Options{Partition: 7 * 24 * time.Hour})
+	n := days * 288
+	for i := 0; i < n; i++ {
+		ts := base.Add(time.Duration(i) * timeutil.SampleInterval)
+		for _, rack := range topology.AllRacks() {
+			if err := s.Append(synthRecord(rng, rack, ts)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	s.SealAll()
+	return s
+}
+
+// BenchmarkEachRecord is the serial full-trace replay baseline: rack-major
+// order, one shard at a time.
+func BenchmarkEachRecord(b *testing.B) {
+	s := benchStoreAllRacks(b, 7)
+	want := s.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.EachRecord(func(sensors.Record) { n++ })
+		if n != want {
+			b.Fatalf("visited %d, want %d", n, want)
+		}
+	}
+	b.ReportMetric(float64(want), "records/op")
+}
+
+// BenchmarkEachRecordParallel replays the same trace through the parallel
+// fan-out + k-way merge in global timestamp order. The GOMAXPROCS sub-
+// benchmarks show the decode scaling; on a single-core host all worker
+// counts collapse to serial throughput plus merge overhead.
+func BenchmarkEachRecordParallel(b *testing.B) {
+	s := benchStoreAllRacks(b, 7)
+	want := s.Len()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := s.EachRecordMerged(workers, func(sensors.Record) bool { n++; return true }); err != nil {
+					b.Fatal(err)
+				}
+				if n != want {
+					b.Fatalf("visited %d, want %d", n, want)
+				}
+			}
+			b.ReportMetric(float64(want), "records/op")
+		})
 	}
 }

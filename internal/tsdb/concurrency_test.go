@@ -77,7 +77,12 @@ func TestConcurrentAppendQuery(t *testing.T) {
 						return
 					}
 				case 2:
-					for _, w := range s.Aggregate(rack, sensors.MetricPower, from, to, time.Hour) {
+					aggs, err := s.Aggregate(rack, sensors.MetricPower, from, to, time.Hour)
+					if err != nil {
+						t.Errorf("aggregate: %v", err)
+						return
+					}
+					for _, w := range aggs {
 						if w.Count > 0 && (w.Min > w.Max || w.Sum < float64(w.Count)*w.Min) {
 							t.Errorf("inconsistent aggregate %+v", w)
 							return

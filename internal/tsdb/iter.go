@@ -1,9 +1,11 @@
 package tsdb
 
 import (
+	"fmt"
 	"math"
 	"time"
 
+	"mira/internal/envdb"
 	"mira/internal/sensors"
 	"mira/internal/topology"
 	"mira/internal/units"
@@ -102,59 +104,65 @@ func (it *Iter) nextBlock() bool {
 }
 
 func (it *Iter) fill() {
-	i := it.pos
-	it.cur = sensors.Record{
-		Time:          time.Unix(0, it.times[i]).In(it.loc),
-		Rack:          it.rack,
-		DCTemperature: units.Fahrenheit(it.cols[sensors.MetricDCTemperature][i]),
-		DCHumidity:    units.RelativeHumidity(it.cols[sensors.MetricDCHumidity][i]),
-		Flow:          units.GPM(it.cols[sensors.MetricFlow][i]),
-		InletTemp:     units.Fahrenheit(it.cols[sensors.MetricInletTemp][i]),
-		OutletTemp:    units.Fahrenheit(it.cols[sensors.MetricOutletTemp][i]),
-		Power:         units.Watts(it.cols[sensors.MetricPower][i]),
+	it.cur = recordAt(it.rack, it.loc, it.times[it.pos], &it.cols, it.pos)
+}
+
+// recordAt materializes one record from decoded columnar data; shared by
+// the per-rack Iter and the parallel merge iterator so both produce
+// bit-identical records from the same stored bytes.
+func recordAt(rack topology.RackID, loc *time.Location, tN int64, cols *[sensors.NumMetrics][]float64, i int) sensors.Record {
+	return sensors.Record{
+		Time:          time.Unix(0, tN).In(loc),
+		Rack:          rack,
+		DCTemperature: units.Fahrenheit(cols[sensors.MetricDCTemperature][i]),
+		DCHumidity:    units.RelativeHumidity(cols[sensors.MetricDCHumidity][i]),
+		Flow:          units.GPM(cols[sensors.MetricFlow][i]),
+		InletTemp:     units.Fahrenheit(cols[sensors.MetricInletTemp][i]),
+		OutletTemp:    units.Fahrenheit(cols[sensors.MetricOutletTemp][i]),
+		Power:         units.Watts(cols[sensors.MetricPower][i]),
 	}
 }
 
 // Record returns the record at the cursor; valid after Next returns true.
 func (it *Iter) Record() sensors.Record { return it.cur }
 
-// WindowAgg is one aggregation window of Store.Aggregate.
-type WindowAgg struct {
-	// Start is the window's inclusive start; the window spans one Aggregate
-	// window length.
-	Start time.Time
-	// Count is the number of samples that fell in the window.
-	Count int
-	// Min, Max, Sum summarize the metric over the window (Min/Max are NaN
-	// when Count is zero).
-	Min, Max, Sum float64
-}
+// WindowAgg is one aggregation window of Store.Aggregate. The type lives
+// in envdb (shared with the slice-backed store's Aggregator capability);
+// the alias keeps tsdb's historical name working.
+type WindowAgg = envdb.WindowAgg
 
-// Mean is Sum/Count, NaN for an empty window.
-func (w WindowAgg) Mean() float64 {
-	if w.Count == 0 {
-		return math.NaN()
-	}
-	return w.Sum / float64(w.Count)
-}
+// MaxAggregateWindows caps how many windows one Aggregate call may
+// materialize. A pathological window (1ns over a six-year range is ~2e17
+// windows) would otherwise OOM the process before a single sample is
+// read; 4Mi windows is ~256 MiB of WindowAgg, far beyond any legitimate
+// figure resolution.
+const MaxAggregateWindows = 4 << 20
 
 // Aggregate computes min/max/sum/count of one metric per fixed window over
 // [from, to) — aggregation pushdown: only the metric's compressed column is
 // decoded, block by block, and no records are materialized. Windows are
 // aligned to from; a non-positive window yields a single window spanning
-// the whole range. Empty windows are included with Count 0.
-func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) []WindowAgg {
+// the whole range. Empty windows are included with Count 0. It errors when
+// the window count would exceed MaxAggregateWindows or a block fails to
+// decode.
+func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]WindowAgg, error) {
 	s.init()
 	defer metQueryDur.With(opAggregate).ObserveSince(time.Now())
 	fromN, toN := from.UnixNano(), to.UnixNano()
 	if toN <= fromN {
-		return nil
+		return nil, nil
 	}
 	winN := int64(window)
 	if winN <= 0 {
 		winN = toN - fromN
 	}
-	nWin := int((toN - fromN + winN - 1) / winN)
+	// (span-1)/winN+1 rather than (span+winN-1)/winN: the latter overflows
+	// int64 for large spans, silently truncating the window count.
+	nWin := (toN-fromN-1)/winN + 1
+	if nWin > MaxAggregateWindows {
+		return nil, fmt.Errorf("tsdb: aggregate window %v over span %v needs %d windows (max %d)",
+			window, time.Duration(toN-fromN), nWin, int64(MaxAggregateWindows))
+	}
 	loc := s.location()
 	out := make([]WindowAgg, nWin)
 	for k := range out {
@@ -170,12 +178,18 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 		if maxT < fromN || minT >= toN {
 			continue
 		}
-		ts := mustDecode(bv.timestamps())
+		ts, err := bv.timestamps()
+		if err != nil {
+			return nil, err
+		}
 		lo, hi := searchRange(ts, fromN, toN)
 		if lo >= hi {
 			continue
 		}
-		col := mustDecode(bv.channel(m))
+		col, err := bv.channel(m)
+		if err != nil {
+			return nil, err
+		}
 		for i := lo; i < hi; i++ {
 			w := &out[(ts[i]-fromN)/winN]
 			v := col[i]
@@ -189,5 +203,7 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 			w.Count++
 		}
 	}
-	return out
+	return out, nil
 }
+
+var _ envdb.Aggregator = (*Store)(nil)

@@ -27,6 +27,18 @@ var (
 		"compressed payload decodes (one timestamp stream or value column each)")
 	metQueryDur = obs.NewHistogramVec("mira_tsdb_query_duration_seconds",
 		"latency of the read surface, labeled by operation", "op", nil)
+
+	// Parallel scan layer (ScanShards / MergeByTime / EachRecordMerged).
+	metScanWorkers = obs.NewGauge("mira_tsdb_scan_workers",
+		"decode workers used by the most recent ScanShards fan-out")
+	metScanBlocks = obs.NewCounter("mira_tsdb_scan_blocks_decoded_total",
+		"sealed or head blocks decoded by scan-pool workers")
+	metScanDecodeDur = obs.NewHistogram("mira_tsdb_scan_block_decode_duration_seconds",
+		"time a scan-pool worker spends decoding one block (all channels)", nil)
+	metScanStallDur = obs.NewHistogram("mira_tsdb_scan_merge_stall_seconds",
+		"time the merge iterator waits for a shard's next decoded run; near zero when prefetch keeps up", nil)
+	metScanRecords = obs.NewCounter("mira_tsdb_scan_records_merged_total",
+		"records yielded in global time order by merge iterators")
 )
 
 // ExposeGauges registers scrape-time gauges describing this store's
@@ -78,7 +90,8 @@ func (s *Store) shardTotals() [topology.NumRacks]int {
 // queryOp names for metQueryDur, kept as constants so the label set stays
 // closed.
 const (
-	opQuery     = "query"
-	opSeries    = "series"
-	opAggregate = "aggregate"
+	opQuery      = "query"
+	opSeries     = "series"
+	opAggregate  = "aggregate"
+	opScanMerged = "scan_merged"
 )

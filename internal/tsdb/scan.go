@@ -1,0 +1,393 @@
+package tsdb
+
+// The parallel query layer: ScanShards fans a time-range scan out across
+// the 48 rack shards through a bounded pool of block-decode workers, and
+// MergeByTime folds the per-shard streams into one iterator that yields
+// records in global timestamp order (ties broken by rack index) — the
+// shard-then-merge shape Prometheus' TSDB and Gorilla use for scan
+// queries. The design keeps memory bounded: each shard has at most two
+// decoded runs resident (the one being merged plus one prefetch), however
+// long the trace is.
+//
+// Scheduling is demand-driven: a shard's next block is only decoded when
+// a request for it sits in the pool queue, and the merge iterator issues
+// exactly one outstanding request per shard (re-armed the moment it takes
+// a finished run). Workers therefore never block delivering results —
+// every result channel has room by construction — which makes the pool
+// deadlock-free for any worker count, including workers < shards.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"mira/internal/envdb"
+	"mira/internal/obs"
+	"mira/internal/sensors"
+	"mira/internal/topology"
+)
+
+// scanRun is one decoded, range-clipped block of a shard: timestamps, all
+// channel columns, and the [lo, hi) index window inside them.
+type scanRun struct {
+	times  []int64
+	cols   [sensors.NumMetrics][]float64
+	lo, hi int
+	err    error
+	last   bool // no further runs will follow from this shard
+}
+
+// ShardStream is one shard's portion of a fanned-out scan: an
+// order-preserving stream of decoded runs produced by the pool's workers
+// against the shard's point-in-time snapshot. Streams are created by
+// ScanShards and consumed by MergeByTime.
+type ShardStream struct {
+	rack       topology.RackID
+	loc        *time.Location
+	fromN, toN int64
+	pool       *scanPool
+
+	// nextBlock is advanced only by the worker currently serving this
+	// stream's request; the one-outstanding-request invariant makes that a
+	// single writer at any time.
+	blocks    []blockView
+	nextBlock int
+	resCh     chan scanRun
+
+	// Consumer-side cursor, touched only by the merge iterator.
+	cur  scanRun
+	pos  int
+	done bool
+	err  error
+}
+
+// decodeStep produces the stream's next non-empty run, or a terminal
+// marker. It runs on a pool worker.
+func (st *ShardStream) decodeStep() scanRun {
+	for ; st.nextBlock < len(st.blocks); st.nextBlock++ {
+		bv := st.blocks[st.nextBlock]
+		minT, maxT := bv.bounds()
+		if maxT < st.fromN || minT >= st.toN {
+			continue
+		}
+		start := time.Now()
+		times, err := bv.timestamps()
+		if err != nil {
+			return scanRun{err: err, last: true}
+		}
+		lo, hi := searchRange(times, st.fromN, st.toN)
+		if lo >= hi {
+			continue
+		}
+		run := scanRun{times: times, lo: lo, hi: hi}
+		for m := range run.cols {
+			if run.cols[m], err = bv.channel(sensors.Metric(m)); err != nil {
+				return scanRun{err: err, last: true}
+			}
+		}
+		metScanBlocks.Inc()
+		metScanDecodeDur.ObserveSince(start)
+		st.nextBlock++
+		return run
+	}
+	return scanRun{last: true}
+}
+
+// advanceRun blocks until the stream's next run is decoded, then re-arms
+// the prefetch request so the following run decodes while this one is
+// consumed. It returns false when the stream is exhausted or failed.
+func (st *ShardStream) advanceRun() bool {
+	if st.done {
+		return false
+	}
+	wait := time.Now()
+	run := <-st.resCh
+	metScanStallDur.ObserveSince(wait)
+	if run.err != nil {
+		st.err, st.done = run.err, true
+		return false
+	}
+	if run.last {
+		st.done = true
+		return false
+	}
+	st.pool.request(st)
+	st.cur, st.pos = run, run.lo
+	return true
+}
+
+func (st *ShardStream) curTime() int64 { return st.cur.times[st.pos] }
+
+// scanPool is the bounded worker pool one ScanShards call shares across
+// its shard streams.
+type scanPool struct {
+	reqCh chan *ShardStream
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+func newScanPool(workers, streams int) *scanPool {
+	p := &scanPool{
+		// One outstanding request per stream means the queue never fills.
+		reqCh: make(chan *ShardStream, streams),
+		quit:  make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case st := <-p.reqCh:
+					run := st.decodeStep()
+					// resCh has room by construction; the quit arm only
+					// matters if the consumer abandoned the scan.
+					select {
+					case st.resCh <- run:
+					case <-p.quit:
+						return
+					}
+				case <-p.quit:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+func (p *scanPool) request(st *ShardStream) {
+	select {
+	case p.reqCh <- st:
+	case <-p.quit:
+	}
+}
+
+// close stops the workers and waits for them to exit; safe to call twice.
+func (p *scanPool) close() {
+	p.once.Do(func() { close(p.quit) })
+	p.wg.Wait()
+}
+
+// normWorkers clamps a requested worker count: <= 0 selects GOMAXPROCS,
+// and more workers than shards would only idle.
+func normWorkers(workers, streams int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > streams {
+		workers = streams
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ScanShards snapshots every shard and starts a pool of `workers` decode
+// workers (<= 0 selects GOMAXPROCS) fanning out over them, returning one
+// order-preserving stream per shard for records in [from, to). The
+// streams must be consumed — and eventually Closed — through
+// MergeByTime; most callers want EachRecordMerged instead.
+func (s *Store) ScanShards(from, to time.Time, workers int) []*ShardStream {
+	s.init()
+	workers = normWorkers(workers, topology.NumRacks)
+	metScanWorkers.Set(float64(workers))
+	pool := newScanPool(workers, topology.NumRacks)
+	fromN, toN := from.UnixNano(), to.UnixNano()
+	loc := s.location()
+	streams := make([]*ShardStream, topology.NumRacks)
+	for i := range streams {
+		snap := s.shards[i].snapshot()
+		streams[i] = &ShardStream{
+			rack:   topology.RackByIndex(i),
+			loc:    loc,
+			fromN:  fromN,
+			toN:    toN,
+			pool:   pool,
+			blocks: snap.blocks(),
+			resCh:  make(chan scanRun, 1),
+		}
+	}
+	// Arm every stream's first request only after all are constructed, so
+	// workers see fully-built streams.
+	for _, st := range streams {
+		pool.request(st)
+	}
+	return streams
+}
+
+// MergeIter yields the records of a fanned-out scan in global
+// (timestamp, rack) order via a k-way heap merge over the shard streams.
+// Call Close when done (Next does it on normal exhaustion); check Err
+// after the final Next.
+type MergeIter struct {
+	pool    *scanPool
+	pending []*ShardStream // streams not yet admitted to the heap
+	h       streamHeap
+	cur     sensors.Record
+	merged  uint64
+	err     error
+	closed  bool
+}
+
+// MergeByTime merges the shard streams of one ScanShards call into a
+// single time-ordered iterator. Only one decoded run per shard (plus one
+// prefetch) is ever resident, so a full-store merge over years of
+// telemetry needs O(shards) memory, not O(trace).
+func MergeByTime(streams []*ShardStream) *MergeIter {
+	it := &MergeIter{pending: streams}
+	if len(streams) > 0 {
+		it.pool = streams[0].pool
+	}
+	return it
+}
+
+// Next advances to the next record in global time order; false when the
+// scan is exhausted, failed (see Err), or closed.
+func (it *MergeIter) Next() bool {
+	if it.closed || it.err != nil {
+		return false
+	}
+	if it.pending != nil {
+		// First call: admit every stream's first run. The waits overlap —
+		// all streams were armed at ScanShards time, so workers are already
+		// decoding ahead of this loop.
+		for _, st := range it.pending {
+			if st.advanceRun() {
+				it.h = append(it.h, st)
+			} else if st.err != nil {
+				it.fail(st.err)
+				return false
+			}
+		}
+		it.pending = nil
+		it.h.init()
+	} else if len(it.h) > 0 {
+		st := it.h[0]
+		st.pos++
+		if st.pos >= st.cur.hi {
+			if st.advanceRun() {
+				it.h.fix()
+			} else if st.err != nil {
+				it.fail(st.err)
+				return false
+			} else {
+				it.h.popTop()
+			}
+		} else {
+			it.h.fix()
+		}
+	}
+	if len(it.h) == 0 {
+		it.Close()
+		return false
+	}
+	top := it.h[0]
+	it.cur = recordAt(top.rack, top.loc, top.cur.times[top.pos], &top.cur.cols, top.pos)
+	it.merged++
+	return true
+}
+
+// Record returns the record at the cursor; valid after Next returns true.
+func (it *MergeIter) Record() sensors.Record { return it.cur }
+
+// Err reports the first shard decode failure, nil on a clean scan.
+func (it *MergeIter) Err() error { return it.err }
+
+func (it *MergeIter) fail(err error) {
+	it.err = err
+	it.Close()
+}
+
+// Close releases the scan's worker pool; idempotent. Next calls it
+// automatically on exhaustion or error, so explicit Close only matters
+// for early abandonment.
+func (it *MergeIter) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	metScanRecords.Add(it.merged)
+	it.merged = 0
+	if it.pool != nil {
+		it.pool.close()
+	}
+}
+
+// streamHeap is a binary min-heap of shard streams ordered by
+// (current timestamp, rack index) — the rack tie-break makes the merged
+// order deterministic and equal to the rack-major visit order within one
+// tick.
+type streamHeap []*ShardStream
+
+func (h streamHeap) less(a, b *ShardStream) bool {
+	ta, tb := a.curTime(), b.curTime()
+	if ta != tb {
+		return ta < tb
+	}
+	return a.rack.Index() < b.rack.Index()
+}
+
+func (h streamHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// fix restores heap order after the root's key grew (its stream advanced).
+func (h streamHeap) fix() { h.down(0) }
+
+func (h *streamHeap) popTop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 1 {
+		h.down(0)
+	}
+}
+
+func (h streamHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		min := l
+		if r := l + 1; r < len(h) && h.less(h[r], h[l]) {
+			min = r
+		}
+		if !h.less(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+var _ envdb.ShardScanner = (*Store)(nil)
+
+// EachRecordMerged implements envdb.ShardScanner: it visits every stored
+// record in global (timestamp, rack) order, decoding shards in parallel
+// on `workers` goroutines (<= 0 selects GOMAXPROCS) while the visit
+// itself stays single-threaded and in order. The scan runs against
+// per-shard snapshots, so concurrent appends proceed untouched. It stops
+// early when f returns false and returns the first decode failure instead
+// of panicking — unlike EachRecord, this surface is also meant for
+// streaming over segment-loaded stores.
+func (s *Store) EachRecordMerged(workers int, f func(sensors.Record) bool) error {
+	_, span := obs.Span(context.Background(), "tsdb.scan_merged")
+	defer span.End()
+	defer metQueryDur.With(opScanMerged).ObserveSince(time.Now())
+	it := MergeByTime(s.ScanShards(time.Unix(0, minTime), time.Unix(0, maxTime), workers))
+	defer it.Close()
+	for it.Next() {
+		if !f(it.Record()) {
+			break
+		}
+	}
+	return it.Err()
+}

@@ -1,0 +1,276 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/timeutil"
+	"mira/internal/topology"
+)
+
+// mergedReference derives the expected merged order from the serial
+// rack-major EachRecord: stable-sort by (instant, rack index). Within one
+// rack EachRecord is already time-ordered, so the stable sort is exactly
+// the k-way merge's contract.
+func mergedReference(s *Store) []sensors.Record {
+	var out []sensors.Record
+	s.EachRecord(func(r sensors.Record) { out = append(out, r) })
+	sort.SliceStable(out, func(a, b int) bool {
+		ta, tb := out[a].Time.UnixNano(), out[b].Time.UnixNano()
+		if ta != tb {
+			return ta < tb
+		}
+		return out[a].Rack.Index() < out[b].Rack.Index()
+	})
+	return out
+}
+
+func collectMerged(t *testing.T, s *Store, workers int) []sensors.Record {
+	t.Helper()
+	var out []sensors.Record
+	if err := s.EachRecordMerged(workers, func(r sensors.Record) bool {
+		out = append(out, r)
+		return true
+	}); err != nil {
+		t.Fatalf("EachRecordMerged(%d): %v", workers, err)
+	}
+	return out
+}
+
+// sameRecords requires bit-identical sequences: same instants (including
+// zone rendering, which the offline figures bucket by), same racks, same
+// float bits on every channel.
+func sameRecords(t *testing.T, label string, got, want []sensors.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: visited %d records, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if !g.Time.Equal(w.Time) || g.Rack != w.Rack {
+			t.Fatalf("%s: record %d = (%v, %v), want (%v, %v)", label, i, g.Time, g.Rack, w.Time, w.Rack)
+		}
+		if g.Time.Format(time.RFC3339) != w.Time.Format(time.RFC3339) {
+			t.Fatalf("%s: record %d zone rendering %q, want %q",
+				label, i, g.Time.Format(time.RFC3339), w.Time.Format(time.RFC3339))
+		}
+		for _, m := range sensors.AllMetrics() {
+			if math.Float64bits(g.Value(m)) != math.Float64bits(w.Value(m)) {
+				t.Fatalf("%s: record %d %v = %v, want %v", label, i, m, g.Value(m), w.Value(m))
+			}
+		}
+	}
+}
+
+// TestMergedScanEquivalence is the tentpole's correctness anchor: the
+// serial rack-major scan, the parallel fan-out at several worker counts,
+// and a warm-reopened store must all visit identical record sequences.
+func TestMergedScanEquivalence(t *testing.T) {
+	s := NewStoreWith(Options{Partition: 24 * time.Hour})
+	// All 48 racks, ~2 sealed partitions plus a live head each; every
+	// tick exercises the full 48-way tie-break.
+	const n = 600
+	fill(t, n, topology.AllRacks(), s)
+
+	want := mergedReference(s)
+	if len(want) != n*topology.NumRacks {
+		t.Fatalf("reference has %d records, want %d", len(want), n*topology.NumRacks)
+	}
+	for _, workers := range []int{1, 3, 8, topology.NumRacks, 0} {
+		sameRecords(t, fmt.Sprintf("workers=%d", workers), collectMerged(t, s, workers), want)
+	}
+
+	// Warm reopen: flush to segments, reopen, merge again.
+	dir := t.TempDir()
+	if err := s.Flush(dir); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	re, err := Open(dir, Options{Partition: 24 * time.Hour})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	sameRecords(t, "warm reopen", collectMerged(t, re, 4), want)
+}
+
+// TestMergeByTimeRange checks the direct ScanShards+MergeByTime surface
+// over a sub-range against a filtered reference.
+func TestMergeByTimeRange(t *testing.T) {
+	s := NewStoreWith(Options{Partition: 24 * time.Hour})
+	racks := []topology.RackID{{Row: 0, Col: 0}, {Row: 1, Col: 8}, {Row: 2, Col: 15}}
+	fill(t, 700, racks, s)
+	from := base.Add(137 * timeutil.SampleInterval)
+	to := base.Add(512 * timeutil.SampleInterval)
+
+	var want []sensors.Record
+	for _, r := range mergedReference(s) {
+		if !r.Time.Before(from) && r.Time.Before(to) {
+			want = append(want, r)
+		}
+	}
+
+	it := MergeByTime(s.ScanShards(from, to, 2))
+	defer it.Close()
+	var got []sensors.Record
+	for it.Next() {
+		got = append(got, it.Record())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	sameRecords(t, "sub-range merge", got, want)
+}
+
+// TestMergedScanEarlyStop exercises abandonment: stopping the visitor and
+// closing a half-consumed iterator must not deadlock or leak workers
+// (goroutine leaks show up as -race hammer flakiness; deadlocks as test
+// timeouts).
+func TestMergedScanEarlyStop(t *testing.T) {
+	s := NewStoreWith(Options{Partition: 12 * time.Hour})
+	fill(t, 500, topology.AllRacks(), s)
+
+	seen := 0
+	if err := s.EachRecordMerged(4, func(sensors.Record) bool {
+		seen++
+		return seen < 100
+	}); err != nil {
+		t.Fatalf("early stop: %v", err)
+	}
+	if seen != 100 {
+		t.Fatalf("visited %d records, want 100", seen)
+	}
+
+	// Abandon a raw merge mid-flight; Close must be idempotent.
+	it := MergeByTime(s.ScanShards(time.Unix(0, minTime), time.Unix(0, maxTime), 3))
+	if !it.Next() {
+		t.Fatal("expected at least one record")
+	}
+	it.Close()
+	it.Close()
+	if it.Next() {
+		t.Fatal("Next after Close should report exhaustion")
+	}
+}
+
+func TestMergedScanEmptyStore(t *testing.T) {
+	s := NewStore()
+	if err := s.EachRecordMerged(4, func(sensors.Record) bool {
+		t.Fatal("no records expected")
+		return false
+	}); err != nil {
+		t.Fatalf("empty scan: %v", err)
+	}
+}
+
+// TestMergedScanCorruption white-boxes a corrupt sealed payload into one
+// shard: the merged scan must surface it as an error (not a panic, unlike
+// the EachRecord surface), while a scan that stops before the corrupt
+// block stays clean thanks to demand-driven decoding.
+func TestMergedScanCorruption(t *testing.T) {
+	s := NewStoreWith(Options{Partition: 6 * time.Hour})
+	rack := topology.RackID{Row: 1, Col: 1}
+	fill(t, 500, []topology.RackID{rack}, s)
+	s.SealAll()
+
+	sh := &s.shards[rack.Index()]
+	if len(sh.sealed) < 3 {
+		t.Fatalf("need ≥3 sealed blocks, got %d", len(sh.sealed))
+	}
+	last := sh.sealed[len(sh.sealed)-1]
+	last.times = []byte{0xff, 0xff, 0xff}
+
+	// Early stop inside the first block: the corrupt tail is never
+	// requested past the prefetch horizon, and the prefetched result is
+	// simply discarded on Close.
+	seen := 0
+	if err := s.EachRecordMerged(2, func(sensors.Record) bool {
+		seen++
+		return seen < 10
+	}); err != nil {
+		t.Fatalf("early-stopped scan should not surface the corrupt tail: %v", err)
+	}
+
+	// A full scan must report it.
+	if err := s.EachRecordMerged(2, func(sensors.Record) bool { return true }); err == nil {
+		t.Fatal("full scan over corrupt block should error")
+	}
+}
+
+// TestEachRecordUntilSurfacesCorruption pins the EachRecordUntil bugfix:
+// corruption may not be silently dropped even when the visitor stops the
+// scan early — the error-free surface panics on it.
+func TestEachRecordUntilSurfacesCorruption(t *testing.T) {
+	s := NewStoreWith(Options{Partition: 6 * time.Hour})
+	rack := topology.RackID{Row: 0, Col: 3}
+	fill(t, 200, []topology.RackID{rack}, s)
+	s.SealAll()
+	s.shards[rack.Index()].sealed[0].times = []byte{0x00}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EachRecordUntil over a corrupt shard should panic even with an early-stopping visitor")
+		}
+	}()
+	s.EachRecordUntil(func(sensors.Record) bool { return false })
+}
+
+// TestMergedScanDuringIngest hammers merged scans against concurrent
+// appends (run under -race by make check): scans run on snapshots, so
+// each must observe an internally consistent, time-ordered sequence.
+func TestMergedScanDuringIngest(t *testing.T) {
+	s := NewStoreWith(Options{Partition: time.Hour})
+	racks := []topology.RackID{{Row: 0, Col: 2}, {Row: 1, Col: 7}, {Row: 2, Col: 11}, {Row: 1, Col: 14}}
+	const perRack = 1500
+
+	var wg sync.WaitGroup
+	for _, rack := range racks {
+		wg.Add(1)
+		go func(rack topology.RackID) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(rack.Index())))
+			for i := 0; i < perRack; i++ {
+				ts := base.Add(time.Duration(i) * timeutil.SampleInterval)
+				if err := s.Append(synthRecord(rng, rack, ts)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(rack)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for scanning := true; scanning; {
+		select {
+		case <-done:
+			scanning = false
+		default:
+		}
+		var prevT int64 = math.MinInt64
+		prevRack := -1
+		n := 0
+		if err := s.EachRecordMerged(3, func(r sensors.Record) bool {
+			k := r.Time.UnixNano()
+			if k < prevT || (k == prevT && r.Rack.Index() <= prevRack) {
+				t.Errorf("merge order violation at record %d: (%d,%d) after (%d,%d)",
+					n, k, r.Rack.Index(), prevT, prevRack)
+				return false
+			}
+			prevT, prevRack = k, r.Rack.Index()
+			n++
+			return true
+		}); err != nil {
+			t.Fatalf("scan during ingest: %v", err)
+		}
+	}
+
+	// Steady state: the final scan sees everything.
+	if got := len(collectMerged(t, s, 4)); got != perRack*len(racks) {
+		t.Fatalf("final scan visited %d records, want %d", got, perRack*len(racks))
+	}
+}

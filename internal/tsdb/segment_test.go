@@ -69,8 +69,14 @@ func TestFlushOpenRoundTrip(t *testing.T) {
 			}
 		}
 
-		wAgg := s.Aggregate(rack, sensors.MetricPower, from, to, 6*time.Hour)
-		gAgg := got.Aggregate(rack, sensors.MetricPower, from, to, 6*time.Hour)
+		wAgg, err := s.Aggregate(rack, sensors.MetricPower, from, to, 6*time.Hour)
+		if err != nil {
+			t.Fatalf("rack %v: Aggregate(mem): %v", rack, err)
+		}
+		gAgg, err := got.Aggregate(rack, sensors.MetricPower, from, to, 6*time.Hour)
+		if err != nil {
+			t.Fatalf("rack %v: Aggregate(reopened): %v", rack, err)
+		}
 		if len(gAgg) != len(wAgg) {
 			t.Fatalf("rack %v: Aggregate windows = %d, want %d", rack, len(gAgg), len(wAgg))
 		}
@@ -348,7 +354,7 @@ func TestReopenConcurrentAppendQuery(t *testing.T) {
 						return
 					}
 				}
-				_ = re.Aggregate(rack, sensors.MetricFlow, base, to, time.Hour)
+				_, _ = re.Aggregate(rack, sensors.MetricFlow, base, to, time.Hour)
 			}
 		}(int64(ri))
 	}

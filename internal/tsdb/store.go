@@ -282,11 +282,12 @@ func (bv blockView) channel(m sensors.Metric) ([]float64, error) {
 }
 
 // mustDecode is the internal-invariant backstop for the error-free query
-// surface (Query, Series, Aggregate, EachRecord): memory-born blocks are
-// correct by construction and disk-loaded blocks are checksum-verified at
-// Open, so a decode error here means in-process memory corruption or a
-// codec bug — not bad input. Callers that want errors instead of a panic
-// (e.g. streaming over untrusted segments) use Iter and check Iter.Err.
+// surface (Query, Series, EachRecord): memory-born blocks are correct by
+// construction and disk-loaded blocks are checksum-verified at Open, so a
+// decode error here means in-process memory corruption or a codec bug —
+// not bad input. Callers that want errors instead of a panic (e.g.
+// streaming over untrusted segments) use Iter, Aggregate, or
+// EachRecordMerged and check the returned error.
 func mustDecode[T any](v T, err error) T {
 	mustOK(err)
 	return v
@@ -363,6 +364,10 @@ func (s *Store) EachRecordUntil(f func(sensors.Record) bool) {
 		it := s.iterShard(topology.RackByIndex(i), &s.shards[i], minTime, maxTime)
 		for it.Next() {
 			if !f(it.Record()) {
+				// Every exit path must surface a latched decode failure —
+				// corruption seen mid-scan may not be dropped just because
+				// the visitor stopped early.
+				mustOK(it.Err())
 				return
 			}
 		}

@@ -220,7 +220,10 @@ func TestAggregatePushdown(t *testing.T) {
 	to := base.Add(1800 * timeutil.SampleInterval)
 	window := 6 * time.Hour
 
-	got := s.Aggregate(rack, sensors.MetricPower, from, to, window)
+	got, err := s.Aggregate(rack, sensors.MetricPower, from, to, window)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
 	wantWindows := int((to.Sub(from) + window - 1) / window)
 	if len(got) != wantWindows {
 		t.Fatalf("windows = %d, want %d", len(got), wantWindows)
@@ -261,12 +264,42 @@ func TestAggregatePushdown(t *testing.T) {
 	}
 
 	// Whole-range aggregate (window <= 0).
-	all := s.Aggregate(rack, sensors.MetricPower, from, to, 0)
+	all, err := s.Aggregate(rack, sensors.MetricPower, from, to, 0)
+	if err != nil {
+		t.Fatalf("whole-range Aggregate: %v", err)
+	}
 	if len(all) != 1 || all[0].Count != len(recs) {
 		t.Fatalf("whole-range aggregate = %+v, want count %d", all, len(recs))
 	}
-	if s.Aggregate(rack, sensors.MetricPower, to, from, window) != nil {
-		t.Error("inverted range should aggregate to nil")
+	if inv, err := s.Aggregate(rack, sensors.MetricPower, to, from, window); err != nil || inv != nil {
+		t.Errorf("inverted range should aggregate to nil, nil; got %v, %v", inv, err)
+	}
+}
+
+func TestAggregateWindowCountClamp(t *testing.T) {
+	s := NewStoreWith(Options{Partition: 24 * time.Hour})
+	rack := topology.RackID{Row: 0, Col: 0}
+	fill(t, 2000, []topology.RackID{rack}, s)
+	from := base
+	to := base.AddDate(6, 0, 0)
+
+	// A 1ns window over a multi-year range would need ~2e17 WindowAgg
+	// allocations; it must error out instead of attempting them. The old
+	// ceiling-division window count also overflowed int64 here (span +
+	// winN - 1 with a large winN), so exercise both extremes.
+	if _, err := s.Aggregate(rack, sensors.MetricPower, from, to, time.Nanosecond); err == nil {
+		t.Fatal("1ns window over six years should error, not allocate")
+	}
+	if aggs, err := s.Aggregate(rack, sensors.MetricPower, from, to, time.Duration(math.MaxInt64)); err != nil || len(aggs) != 1 {
+		t.Fatalf("huge window: %d windows, err %v; want 1 window", len(aggs), err)
+	}
+	// A legitimate fine-grained resolution still works under the clamp.
+	aggs, err := s.Aggregate(rack, sensors.MetricPower, from, from.Add(100000*time.Second), time.Second)
+	if err != nil {
+		t.Fatalf("100k windows: %v", err)
+	}
+	if len(aggs) != 100000 {
+		t.Fatalf("windows = %d, want 100000", len(aggs))
 	}
 }
 

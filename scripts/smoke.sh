@@ -36,6 +36,20 @@ if ! diff -u "$data/warm-figs.txt" "$data/csv-figs.txt"; then
 	exit 1
 fi
 
+# The parallel shard fan-out must be a pure performance change: replaying
+# the warm store with 1 worker and with 8 must print byte-identical
+# figures.
+"$bin/miraanalyze" -data "$data/seg" -scan-workers 1 >"$data/scan1.txt"
+"$bin/miraanalyze" -data "$data/seg" -scan-workers 8 >"$data/scan8.txt"
+if ! diff -u "$data/scan1.txt" "$data/scan8.txt"; then
+	echo "smoke: figures differ between -scan-workers 1 and 8" >&2
+	exit 1
+fi
+if ! diff -u "$data/warm.txt" "$data/scan1.txt"; then
+	echo "smoke: -scan-workers 1 figures differ from the default scan" >&2
+	exit 1
+fi
+
 # Corruption: truncate one segment mid-payload.
 seg=$(find "$data/seg" -name '*.seg' | head -n 1)
 size=$(wc -c <"$seg")
