@@ -2,9 +2,9 @@
 # the roadmap expect before a change lands.
 GO ?= go
 
-.PHONY: check vet lint build test race bench smoke
+.PHONY: check vet lint build test race bench smoke fuzz-smoke
 
-check: vet lint build race smoke
+check: vet lint build race fuzz-smoke smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,13 @@ race:
 # the CSV in-memory path, and a corrupted segment must fail descriptively.
 smoke:
 	./scripts/smoke.sh
+
+# fuzz-smoke gives each tsdb fuzz target a short budget: segment parsing
+# and block decoding must reject arbitrary bytes with wrapped ErrCorrupt,
+# never a panic. The go fuzzer runs one target per invocation.
+fuzz-smoke:
+	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz '^FuzzOpenSegment$$' -fuzztime 10s
+	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz '^FuzzDecodeBlock$$' -fuzztime 10s
 
 # bench reports tsdb ingest throughput, compressed bytes/sample, and
 # range-query scan performance, then snapshots the numbers (plus an

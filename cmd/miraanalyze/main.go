@@ -4,7 +4,7 @@
 // Usage:
 //
 //	miraanalyze [-seed N] [-step 15m] [-figure all|2|3|...|15]
-//	            [-from out.csv] [-data dir] [-scan-workers N]
+//	            [-from out.csv] [-data dir] [-retention 0] [-scan-workers N]
 //	            [-report report.json] [-log-format text|json]
 //
 // A full run at -step 15m takes under a minute; -step 300s matches the
@@ -12,7 +12,10 @@
 // a telemetry store persisted by mirasim (or a previous cold start) and
 // regenerates the offline figures without re-running the simulation; if
 // the directory holds no segments yet, the simulation runs once and its
-// telemetry is persisted there for the next invocation.
+// telemetry is persisted there for the next invocation. -retention folds
+// records older than the hot window into 1-hour downsampled windows on
+// disk; the Fig. 7/9 pushdown figures keep aggregating across both tiers
+// exactly, while the replay figures (3/8) cover the hot window.
 package main
 
 import (
@@ -41,6 +44,7 @@ func main() {
 		figure      = flag.String("figure", "all", "which figure to print (1..15, pue, or all)")
 		fromCSV     = flag.String("from", "", "analyze an exported telemetry CSV instead of simulating (figures 3/7/8/9 only)")
 		dataDir     = flag.String("data", "", "analyze a persisted telemetry store (figures 3/7/8/9; cold start simulates once and persists)")
+		retention   = flag.Duration("retention", 0, "hot-window length for -data stores: fold older records into 1-hour downsampled windows on disk before analyzing (0 = keep everything full-rate)")
 		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 		scanWorkers = flag.Int("scan-workers", 0, "decode workers for parallel store scans on the offline paths (0 = GOMAXPROCS)")
@@ -49,7 +53,7 @@ func main() {
 	logg = obs.NewLogger(os.Stderr, *logFormat, "miraanalyze")
 
 	if *dataDir != "" {
-		analyzeData(*dataDir, *seed, *step, *scanWorkers, *figure)
+		analyzeData(*dataDir, *seed, *step, *retention, *scanWorkers, *figure)
 		writeReport(*reportPath)
 		return
 	}
@@ -153,9 +157,12 @@ func printEfficiency(s *mira.Study) {
 // analyzeData regenerates the coolant/ambient figures from a persisted
 // telemetry store. A warm open skips the simulation entirely; a cold start
 // (no segments yet) simulates once, persists, then analyzes the same
-// store — so cold and warm invocations print identical figures.
-func analyzeData(dir string, seed int64, step time.Duration, scanWorkers int, figure string) {
-	db, err := tsdb.Open(dir, tsdb.Options{})
+// store — so cold and warm invocations print identical figures. With
+// -retention, the store is compacted on disk before analysis: the Fig. 7/9
+// pushdown aggregates across raw and downsampled tiers exactly, while the
+// replay figures cover the retained hot window.
+func analyzeData(dir string, seed int64, step, retention time.Duration, scanWorkers int, figure string) {
+	db, err := tsdb.Open(dir, tsdb.Options{Retention: retention})
 	switch {
 	case err == nil:
 		db.ExposeGauges(nil)
@@ -182,6 +189,16 @@ func analyzeData(dir string, seed int64, step time.Duration, scanWorkers int, fi
 			db.Len(), dir, float64(db.Stats().DiskBytes)/(1<<20))
 	default:
 		logg.Fatalf("%v", err)
+	}
+	if retention > 0 {
+		cs, err := db.Compact(dir)
+		if err != nil {
+			logg.Fatalf("retention compaction: %v", err)
+		}
+		if cs.Windows > 0 {
+			fmt.Printf("compacted %d raw records into %d downsampled windows (%.1fx on-disk reduction for the compacted range)\n",
+				cs.SourceRecords, cs.Windows, cs.Reduction())
+		}
 	}
 	fmt.Println()
 	analyzeStore(db, scanWorkers, figure)
@@ -221,8 +238,9 @@ func analyzeStore(db *tsdb.Store, scanWorkers int, figure string) {
 	}
 
 	if !want("3") && !want("8") {
-		// Pushdown fast path: Figs. 7 and 9 need only per-rack means, and
-		// the pushdown results are bit-identical to a full replay.
+		// Pushdown fast path: Figs. 7 and 9 need only per-rack means, which
+		// come exactly (integer-domain sums) from compressed columns of both
+		// the raw and downsampled tiers.
 		if want("7") {
 			fig7, err := analysis.Fig7CoolantPushdown(db)
 			if err != nil {

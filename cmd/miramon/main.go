@@ -6,12 +6,16 @@
 // Usage:
 //
 //	miramon [-seed N] [-train-days 120] [-watch-days 45] [-data dir]
-//	        [-listen :8080] [-report report.json] [-log-format text|json]
+//	        [-retention 0] [-compact-interval 1h] [-listen :8080]
+//	        [-report report.json] [-log-format text|json]
 //
 // With -data, a cold run persists the watched telemetry to segment files;
 // a warm run (segments already present) skips the simulation and instead
 // replays the persisted telemetry through the threshold monitor and the
-// aggregation summary.
+// aggregation summary. -retention bounds the full-rate hot window: records
+// older than it are folded on disk into 1-hour downsampled windows, once
+// at startup and — when the process stays up with -listen — every
+// -compact-interval in the background.
 //
 // -listen turns miramon into a long-running monitor: /metrics, /healthz,
 // and /debug/pprof serve from startup, and after the demo finishes the
@@ -30,6 +34,7 @@ import (
 	"mira"
 	"mira/internal/analysis"
 	"mira/internal/core"
+	"mira/internal/envdb"
 	"mira/internal/obs"
 	"mira/internal/sensors"
 	"mira/internal/sim"
@@ -101,6 +106,8 @@ func main() {
 		trainDays   = flag.Int("train-days", 150, "days of telemetry to train the early-warning model on")
 		watchDays   = flag.Int("watch-days", 45, "days of telemetry to monitor")
 		dataDir     = flag.String("data", "", "persist watched telemetry to segment files; on a warm open, replay them instead of simulating")
+		retention   = flag.Duration("retention", 0, "hot-window length for the -data store: fold older records into 1-hour downsampled windows on disk (0 = keep everything full-rate)")
+		compactEach = flag.Duration("compact-interval", time.Hour, "how often a listening monitor re-runs retention compaction in the background (requires -retention and -listen)")
 		listen      = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address and stay up after the demo (e.g. :8080)")
 		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -118,11 +125,13 @@ func main() {
 	}
 
 	if *dataDir != "" {
-		db, err := tsdb.Open(*dataDir, tsdb.Options{})
+		db, err := tsdb.Open(*dataDir, tsdb.Options{Retention: *retention})
 		switch {
 		case err == nil:
 			db.ExposeGauges(nil)
+			compactOnce(db, *dataDir, *retention, logg)
 			replayAudit(db, *dataDir, *scanWorkers, logg)
+			startCompactor(db, *dataDir, *retention, *compactEach, *listen, logg)
 			finish(logg, *listen, *reportPath)
 			return
 		case errors.Is(err, tsdb.ErrCorrupt) && *listen != "":
@@ -164,7 +173,7 @@ func main() {
 	s.AddRecorder(w2)
 	// Keep the watched telemetry queryable in the compressed store so the
 	// summary can aggregate it without re-running the simulation.
-	db := tsdb.NewStore()
+	db := tsdb.NewStoreWith(tsdb.Options{Retention: *retention})
 	db.ExposeGauges(nil)
 	dbRec := sim.NewEnvDBRecorder(db)
 	s.AddRecorder(&gate{inner: dbRec, from: watchStart})
@@ -206,10 +215,55 @@ func main() {
 		if err := db.Flush(*dataDir); err != nil {
 			logg.Fatalf("%v", err)
 		}
+		compactOnce(db, *dataDir, *retention, logg)
 		fmt.Printf("\nwatched telemetry persisted to %s (%.1f MiB on disk); rerun with -data to replay without simulating\n",
 			*dataDir, float64(db.Stats().DiskBytes)/(1<<20))
+		startCompactor(db, *dataDir, *retention, *compactEach, *listen, logg)
 	}
 	finish(logg, *listen, *reportPath)
+}
+
+// compactOnce runs one retention compaction against the persisted store
+// and reports what it folded; a no-op without -retention.
+func compactOnce(db *tsdb.Store, dir string, retention time.Duration, logg *obs.Logger) {
+	if retention <= 0 {
+		return
+	}
+	cs, err := db.Compact(dir)
+	if err != nil {
+		logg.Fatalf("retention compaction: %v", err)
+	}
+	if cs.Windows > 0 {
+		fmt.Printf("compacted %d raw records into %d downsampled windows (%.1fx on-disk reduction for the compacted range)\n",
+			cs.SourceRecords, cs.Windows, cs.Reduction())
+	}
+}
+
+// startCompactor re-runs retention compaction every interval for as long
+// as the process serves /metrics — the long-running half of the retention
+// story. Compaction errors are logged, not fatal: a monitor should keep
+// serving its health and metrics surface even when a compaction pass
+// fails, and the next tick retries.
+func startCompactor(db *tsdb.Store, dir string, retention, interval time.Duration, listen string, logg *obs.Logger) {
+	if retention <= 0 || listen == "" {
+		return
+	}
+	logg.Infof("background retention compaction every %v (hot window %v)", interval, retention)
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for range t.C {
+			cs, err := db.Compact(dir)
+			if err != nil {
+				logg.Errorf("retention compaction: %v", err)
+				continue
+			}
+			if cs.Windows > 0 {
+				logg.Infof("compacted %d raw records into %d downsampled windows across %d shards",
+					cs.SourceRecords, cs.Windows, cs.Shards)
+			}
+		}
+	}()
 }
 
 // finish writes the RunReport if requested, then either exits (no -listen)
@@ -252,11 +306,17 @@ func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) {
 	fmt.Printf("window: %s .. %s\n\n", first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
 
 	thresholds := sensors.DefaultThresholds()
-	warnings := 0
+	warnings, coldWindows := 0, 0
 	// The merged scan decodes shards in parallel and — unlike EachRecord —
 	// returns decode failures instead of panicking, which suits a replay
-	// over disk-loaded segments.
-	if err := db.EachRecordMerged(workers, func(r sensors.Record) bool {
+	// over disk-loaded segments. Downsampled cold-tier records are hourly
+	// means, not samples: checking thresholds against them would hide the
+	// excursions compaction averaged away, so only raw records are checked.
+	if err := db.EachRecordMergedTier(workers, func(r sensors.Record, tier envdb.Tier) bool {
+		if tier != envdb.TierRaw {
+			coldWindows++
+			return true
+		}
 		if len(thresholds.Check(r)) > 0 {
 			warnings++
 		}
@@ -265,6 +325,9 @@ func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) {
 		logg.Fatalf("scan: %v", err)
 	}
 	fmt.Printf("threshold alarms over the stored window: %d\n", warnings)
+	if coldWindows > 0 {
+		fmt.Printf("(%d downsampled windows skipped by the threshold check; aggregates below still cover them)\n", coldWindows)
+	}
 	fmt.Println("(NN early warnings need a live run: the model trains on simulated incidents)")
 
 	hot := topology.RackID{Row: 1, Col: 8} // the paper's humidity hotspot

@@ -4,12 +4,16 @@
 // Usage:
 //
 //	mirasim [-seed N] [-start 2014-01-01] [-end 2020-01-01] [-step 300s]
-//	        [-downsample N] [-data dir] [-telemetry out.csv] [-ras out.log]
+//	        [-downsample N] [-partition 720h] [-retention 0] [-data dir]
+//	        [-telemetry out.csv] [-ras out.log]
 //
 // With no output flags, a run summary is printed to stdout. -data persists
 // the compressed telemetry store to per-shard segment files, which
 // miraanalyze and miramon reopen with their own -data flag instead of
-// re-running the simulation. -listen serves /metrics, /healthz, and pprof
+// re-running the simulation. -retention bounds the full-rate hot window:
+// after the run, older records are folded on disk into 1-hour downsampled
+// windows (count/sum/min/max per channel) that the query surface still
+// answers from. -listen serves /metrics, /healthz, and pprof
 // live while the simulation runs; -report snapshots every metric to a JSON
 // RunReport at exit.
 package main
@@ -34,6 +38,8 @@ func main() {
 		endStr     = flag.String("end", "2020-01-01", "window end, exclusive (YYYY-MM-DD)")
 		step       = flag.Duration("step", timeutil.SampleInterval, "tick length")
 		downsample = flag.Int("downsample", 1, "keep 1 of every N telemetry samples (1 = full rate; the compressed tsdb engine holds full six-year runs in memory)")
+		partition  = flag.Duration("partition", tsdb.DefaultPartition, "sealed-block partition length of the telemetry store")
+		retention  = flag.Duration("retention", 0, "hot-window length: after the run, records older than this (measured from the newest record) are folded into 1-hour downsampled windows (0 = keep everything full-rate)")
 		dataDir    = flag.String("data", "", "persist the telemetry store to segment files under this directory")
 		telemetry  = flag.String("telemetry", "", "write telemetry CSV to this file")
 		rasOut     = flag.String("ras", "", "write the deduplicated failure log to this file")
@@ -53,7 +59,7 @@ func main() {
 		logg.Fatalf("bad -end: %v", err)
 	}
 
-	db := tsdb.NewStoreWith(tsdb.Options{Downsample: *downsample})
+	db := tsdb.NewStoreWith(tsdb.Options{Downsample: *downsample, Partition: *partition, Retention: *retention})
 	db.ExposeGauges(nil)
 	if *listen != "" {
 		addr, err := obs.Serve(*listen)
@@ -97,6 +103,16 @@ func main() {
 	if *dataDir != "" {
 		if err := db.Flush(*dataDir); err != nil {
 			logg.Fatalf("%v", err)
+		}
+		if *retention > 0 {
+			cs, err := db.Compact(*dataDir)
+			if err != nil {
+				logg.Fatalf("retention compaction: %v", err)
+			}
+			if cs.Windows > 0 {
+				fmt.Printf("compacted %d raw records into %d downsampled windows (%.1fx on-disk reduction for the compacted range)\n",
+					cs.SourceRecords, cs.Windows, cs.Reduction())
+			}
 		}
 		fmt.Printf("telemetry persisted to %s (%.1f MiB on disk)\n",
 			*dataDir, float64(db.Stats().DiskBytes)/(1<<20))

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"mira/internal/envdb"
+	"mira/internal/obs"
 	"mira/internal/sensors"
 	"mira/internal/stats"
 	"mira/internal/topology"
@@ -30,8 +32,16 @@ func CollectFromStore(db envdb.DB) *Collector {
 // record per rack — regardless of trace length. Stores without the
 // ShardScanner capability fall back to the buffering replay (O(trace)
 // memory).
+//
+// Stores with a downsampled cold tier (envdb.TierScanner) replay the hot
+// window only: a cold window's mean record is not a sample, so feeding it
+// to the tick/incident pipeline would fabricate ticks. Replay figures
+// therefore cover the retained full-rate range, while the Fig. 7/9
+// pushdown figures aggregate across both tiers exactly.
 func CollectFromStoreParallel(db envdb.DB, workers int) *Collector {
 	defer timed("collect_from_store")()
+	_, span := obs.Span(context.Background(), "analysis.collect")
+	defer span.End()
 	c := NewCollector()
 	if ss, ok := db.(envdb.ShardScanner); ok {
 		if _, err := replayMerged(ss, workers, c); err != nil {
@@ -76,14 +86,26 @@ func replayMerged(ss envdb.ShardScanner, workers int, c *Collector) (maxTick int
 		tick = tick[:0]
 	}
 	var curN int64
-	err = ss.EachRecordMerged(workers, func(r sensors.Record) bool {
+	visit := func(r sensors.Record) bool {
 		if k := r.Time.UnixNano(); len(tick) == 0 || k != curN {
 			flush()
 			curN = k
 		}
 		tick = append(tick, r)
 		return true
-	})
+	}
+	if ts, ok := ss.(envdb.TierScanner); ok {
+		// Tiered store: replay raw samples only. Downsampled window records
+		// are aggregate stand-ins, not monitor ticks.
+		err = ts.EachRecordMergedTier(workers, func(r sensors.Record, tier envdb.Tier) bool {
+			if tier != envdb.TierRaw {
+				return true
+			}
+			return visit(r)
+		})
+	} else {
+		err = ss.EachRecordMerged(workers, visit)
+	}
 	if err != nil {
 		return maxTick, err
 	}
@@ -128,9 +150,10 @@ var nanUtil = func() float64 {
 // rackMeansPushdown computes each rack's whole-trace mean of one metric
 // via aggregation pushdown: one single-window Aggregate per rack, so only
 // that metric's compressed column is decoded and no records are
-// materialized. The per-rack fold order (block by block, in time order)
-// matches the collector's accumulation order, so the means are
-// bit-identical to a full replay.
+// materialized. For quantized channels the sums accumulate in the integer
+// domain, which makes the means exact and compaction-invariant: the same
+// value before and after the store's cold range is downsampled. They agree
+// with a full float-order replay to within summation-order rounding.
 func rackMeansPushdown(db envdb.Aggregator, m sensors.Metric, from, to time.Time) ([]float64, error) {
 	out := make([]float64, topology.NumRacks)
 	for i := range out {
@@ -149,10 +172,14 @@ func rackMeansPushdown(db envdb.Aggregator, m sensors.Metric, from, to time.Time
 
 // Fig7CoolantPushdown computes the Fig. 7 panels straight from compressed
 // columns, skipping record materialization and the replay entirely — the
-// fast path when only per-rack means are needed. Results are
-// bit-identical to Fig7RackCoolant after a full replay of the same store.
+// fast path when only per-rack means are needed. Results match
+// Fig7RackCoolant after a full replay of the same store up to float
+// summation order, and are identical before and after retention
+// compaction (the cold tier stores exact sums).
 func Fig7CoolantPushdown(db envdb.Aggregator) (RackCoolant, error) {
 	defer timed("fig7_rack_coolant_pushdown")()
+	_, span := obs.Span(context.Background(), "analysis.fig7_pushdown")
+	defer span.End()
 	first, last, ok := db.Bounds()
 	if !ok {
 		return RackCoolant{}, nil
@@ -179,10 +206,12 @@ func Fig7CoolantPushdown(db envdb.Aggregator) (RackCoolant, error) {
 }
 
 // Fig9AmbientPushdown computes the Fig. 9 panels via aggregation
-// pushdown; bit-identical to Fig9RackAmbient after a full replay of the
-// same store.
+// pushdown; matches Fig9RackAmbient after a full replay of the same store
+// up to float summation order, and is compaction-invariant.
 func Fig9AmbientPushdown(db envdb.Aggregator) (RackAmbient, error) {
 	defer timed("fig9_rack_ambient_pushdown")()
+	_, span := obs.Span(context.Background(), "analysis.fig9_pushdown")
+	defer span.End()
 	first, last, ok := db.Bounds()
 	if !ok {
 		return RackAmbient{}, nil

@@ -65,10 +65,19 @@ func TestCollectFromStoreMixedLocations(t *testing.T) {
 func multiDayStore(t *testing.T, days int) *tsdb.Store {
 	t.Helper()
 	db := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour})
+	fillTrace(t, db, 0, days*288) // 300 s cadence
+	return db
+}
+
+// fillTrace appends ticks [from, to) of the deterministic multi-day trace
+// to db. The rng is re-seeded and fast-forwarded through skipped ticks, so
+// any tick range yields the same records regardless of where it starts —
+// a compacted store's hot window can be rebuilt record-for-record.
+func fillTrace(t *testing.T, db *tsdb.Store, from, to int) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(11))
 	start := time.Date(2015, 3, 10, 0, 0, 0, 0, timeutil.Chicago)
-	ticks := days * 288 // 300 s cadence
-	for i := 0; i < ticks; i++ {
+	for i := 0; i < to; i++ {
 		ts := start.Add(time.Duration(i) * timeutil.SampleInterval)
 		for _, rack := range topology.AllRacks() {
 			r := flatRecord(ts, rack)
@@ -78,12 +87,14 @@ func multiDayStore(t *testing.T, days int) *tsdb.Store {
 			r.DCTemperature = units.Fahrenheit(80 + 2*rng.Float64())
 			r.DCHumidity = units.RelativeHumidity(30 + 4*rng.Float64())
 			r.Power = units.Watts(55000 + 100*rng.Float64())
+			if i < from {
+				continue
+			}
 			if err := db.Append(r); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	return db
 }
 
 // TestReplayMergedBoundedMemory pins the tentpole's memory bound on a
@@ -135,11 +146,35 @@ func TestCollectFromStoreFallbackEquivalence(t *testing.T) {
 	}
 }
 
+// closeF reports a ≈ b within relative tolerance tol (NaN equals NaN).
+func closeF(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// closeSlice reports elementwise closeF over equal-length slices.
+func closeSlice(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !closeF(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
 // TestPushdownMatchesReplay: Figs. 7/9 computed via aggregation pushdown
-// (compressed columns only, no replay) must be bit-identical to the full
-// replay — same per-rack fold order, so reflect.DeepEqual, not a
-// tolerance.
+// (compressed columns only, no replay) must match the full replay. The
+// pushdown sums accumulate in the quantized integer domain (so they stay
+// exact across retention compaction) while the replay folds floats in tick
+// order, so the comparison allows summation-order rounding — a relative
+// tolerance far tighter than any figure resolution, not bit-equality.
 func TestPushdownMatchesReplay(t *testing.T) {
+	const tol = 1e-9
 	db := multiDayStore(t, 2)
 	c := CollectFromStoreParallel(db, 2)
 
@@ -147,14 +182,106 @@ func TestPushdownMatchesReplay(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Fig7CoolantPushdown: %v", err)
 	}
-	if want := c.Fig7RackCoolant(); !reflect.DeepEqual(fig7, want) {
+	if want := c.Fig7RackCoolant(); !closeSlice(fig7.FlowGPM, want.FlowGPM, tol) ||
+		!closeSlice(fig7.InletF, want.InletF, tol) ||
+		!closeSlice(fig7.OutletF, want.OutletF, tol) ||
+		!closeF(fig7.FlowSpreadPct, want.FlowSpreadPct, tol) ||
+		!closeF(fig7.InletSpreadPct, want.InletSpreadPct, tol) ||
+		!closeF(fig7.OutletSpreadPct, want.OutletSpreadPct, tol) {
 		t.Errorf("Fig7 pushdown differs:\n pushdown %+v\n replay   %+v", fig7, want)
 	}
 	fig9, err := Fig9AmbientPushdown(db)
 	if err != nil {
 		t.Fatalf("Fig9AmbientPushdown: %v", err)
 	}
-	if want := c.Fig9RackAmbient(); !reflect.DeepEqual(fig9, want) {
+	if want := c.Fig9RackAmbient(); !closeSlice(fig9.TempF, want.TempF, tol) ||
+		!closeSlice(fig9.HumidityRH, want.HumidityRH, tol) ||
+		!closeF(fig9.TempSpreadPct, want.TempSpreadPct, tol) ||
+		!closeF(fig9.HumSpreadPct, want.HumSpreadPct, tol) ||
+		fig9.MaxHumidityRack != want.MaxHumidityRack ||
+		!closeF(fig9.RowEndTempExcess, want.RowEndTempExcess, tol) ||
+		!closeF(fig9.RowEndHumidityDeficit, want.RowEndHumidityDeficit, tol) {
 		t.Errorf("Fig9 pushdown differs:\n pushdown %+v\n replay   %+v", fig9, want)
+	}
+}
+
+// TestReplaySkipsDownsampledTier: after retention compaction the replay
+// figures must cover exactly the retained hot window. A downsampled
+// window's record is an aggregate stand-in, not a monitor tick — feeding
+// it to the collector would fabricate ticks — so the compacted store's
+// replay must equal, record for record, the replay of a store holding
+// only the hot-window ticks.
+func TestReplaySkipsDownsampledTier(t *testing.T) {
+	db := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour, Retention: 24 * time.Hour})
+	fillTrace(t, db, 0, 3*288)
+	st, err := db.Compact("")
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st.Windows == 0 {
+		t.Fatal("compaction folded nothing; the downsampled tier is not exercised")
+	}
+
+	// Every shard sees the same tick sequence, so the folded-record count
+	// identifies exactly which prefix of ticks moved to the cold tier
+	// (partition boundaries fall on UTC days, not local ones, so the prefix
+	// is not a whole number of local days).
+	fromTick := int(st.SourceRecords) / topology.NumRacks
+	if fromTick*topology.NumRacks != int(st.SourceRecords) || fromTick <= 0 || fromTick >= 3*288 {
+		t.Fatalf("compaction folded %d records; want a whole positive prefix of %d-rack ticks", st.SourceRecords, topology.NumRacks)
+	}
+	hot := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour})
+	fillTrace(t, hot, fromTick, 3*288)
+
+	got := CollectFromStoreParallel(db, 3)
+	want := CollectFromStoreParallel(hot, 3)
+	if g, w := fmt.Sprintf("%+v", got.Fig3CoolantTimeline()), fmt.Sprintf("%+v", want.Fig3CoolantTimeline()); g != w {
+		t.Errorf("Fig3 differs:\n compacted %s\n hot-only  %s", g, w)
+	}
+	if g, w := got.Fig7RackCoolant(), want.Fig7RackCoolant(); !reflect.DeepEqual(g, w) {
+		t.Errorf("Fig7 differs:\n compacted %+v\n hot-only  %+v", g, w)
+	}
+	if g, w := got.Fig9RackAmbient(), want.Fig9RackAmbient(); !reflect.DeepEqual(g, w) {
+		t.Errorf("Fig9 differs:\n compacted %+v\n hot-only  %+v", g, w)
+	}
+}
+
+// TestPushdownCompactionInvariant: the Fig. 7/9 pushdown figures must be
+// bit-identical before and after retention compaction. The downsampled
+// tier stores per-window sums in the quantized integer domain, and
+// integer addition is associative — so folding a year of raw records into
+// hourly windows changes nothing about a whole-range mean.
+func TestPushdownCompactionInvariant(t *testing.T) {
+	db := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour, Retention: 24 * time.Hour})
+	fillTrace(t, db, 0, 3*288)
+
+	before7, err := Fig7CoolantPushdown(db)
+	if err != nil {
+		t.Fatalf("Fig7CoolantPushdown: %v", err)
+	}
+	before9, err := Fig9AmbientPushdown(db)
+	if err != nil {
+		t.Fatalf("Fig9AmbientPushdown: %v", err)
+	}
+	st, err := db.Compact("")
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st.Windows == 0 {
+		t.Fatal("compaction folded nothing; the invariant is not exercised")
+	}
+	after7, err := Fig7CoolantPushdown(db)
+	if err != nil {
+		t.Fatalf("Fig7CoolantPushdown after compact: %v", err)
+	}
+	after9, err := Fig9AmbientPushdown(db)
+	if err != nil {
+		t.Fatalf("Fig9AmbientPushdown after compact: %v", err)
+	}
+	if !reflect.DeepEqual(before7, after7) {
+		t.Errorf("Fig7 changed under compaction:\n before %+v\n after  %+v", before7, after7)
+	}
+	if !reflect.DeepEqual(before9, after9) {
+		t.Errorf("Fig9 changed under compaction:\n before %+v\n after  %+v", before9, after9)
 	}
 }

@@ -64,6 +64,31 @@ type ShardScanner interface {
 	EachRecordMerged(workers int, f func(sensors.Record) bool) error
 }
 
+// Tier identifies the storage tier a scanned record came from in stores
+// with retention/downsampling (tsdb.Store).
+type Tier uint8
+
+const (
+	// TierRaw marks a full-rate sample stored as ingested.
+	TierRaw Tier = iota
+	// TierDownsampled marks a cold-tier window record: timestamped at the
+	// compaction window's start and valued at the window's per-channel
+	// mean, standing in for every raw sample folded into that window.
+	TierDownsampled
+)
+
+// TierScanner is an optional capability of ShardScanner implementations
+// with a downsampled cold tier: the same merged scan, with each record's
+// tier. Consumers that replay full-rate semantics (tick grouping, incident
+// detection) should skip TierDownsampled records — a window mean is not a
+// sample — while aggregate consumers may use both. Implementations without
+// tiers simply don't implement this; callers fall back to EachRecordMerged
+// treating everything as raw.
+type TierScanner interface {
+	ShardScanner
+	EachRecordMergedTier(workers int, f func(sensors.Record, Tier) bool) error
+}
+
 // WindowAgg is one aggregation window of an Aggregator pushdown query.
 type WindowAgg struct {
 	// Start is the window's inclusive start; the window spans one Aggregate

@@ -94,12 +94,14 @@ func quantizeExact(vals []float64, scale float64) ([]int64, bool) {
 	return ints, true
 }
 
-// wrap qualifies a decode error with the block's origin.
+// wrap qualifies a decode error with the block's origin and marks it as
+// corruption: payloads are either memory-born or checksum-verified at
+// Open, so a failed decode means the bytes went bad after that.
 func (b *sealedBlock) wrap(what string, err error) error {
 	if b.src != "" {
-		return fmt.Errorf("tsdb: %s: %s: %w", b.src, what, err)
+		return fmt.Errorf("tsdb: %s: %s: %w: %w", b.src, what, ErrCorrupt, err)
 	}
-	return fmt.Errorf("tsdb: sealed block: %s: %w", what, err)
+	return fmt.Errorf("tsdb: sealed block: %s: %w: %w", what, ErrCorrupt, err)
 }
 
 func (b *sealedBlock) decodeTimes() ([]int64, error) {

@@ -145,6 +145,19 @@ const MaxAggregateWindows = 4 << 20
 // the whole range. Empty windows are included with Count 0. It errors when
 // the window count would exceed MaxAggregateWindows or a block fails to
 // decode.
+//
+// Downsampled blocks answer from their stored per-window count/sum/min/max
+// columns; each compacted window is attributed to the aggregation window
+// containing its start. For decimal-quantized channels (the default for
+// all six) sums accumulate in the integer domain, so the result is exact —
+// equal to aggregating the pre-compaction raw records — whenever the
+// query's window grid does not split compacted windows: [from, to) aligned
+// to the compaction-window grid with window a multiple of the compaction
+// window (or a single whole-range window). Under that precondition count,
+// min, and max are exact on every channel, including XOR-fallback ones —
+// only XOR-fallback sums stay float-order approximate across tiers. A grid
+// that does split compacted windows attributes each cold window to the
+// aggregation window containing its start.
 func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]WindowAgg, error) {
 	s.init()
 	defer metQueryDur.With(opAggregate).ObserveSince(time.Now())
@@ -172,6 +185,14 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 			Max:   math.NaN(),
 		}
 	}
+	// Sums accumulate twice: in float (always valid) and in the quantized
+	// integer domain. Integer addition is associative, so when every
+	// contribution stays integral the integer totals replace the float
+	// sums at the end — making Sum independent of accumulation order and
+	// therefore identical before and after compaction.
+	scale := s.scales[m]
+	exact := scale > 0
+	sumsI := make([]int64, nWin)
 	snap := s.shards[rack.Index()].snapshot()
 	for _, bv := range snap.blocks() {
 		minT, maxT := bv.bounds()
@@ -186,12 +207,85 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 		if lo >= hi {
 			continue
 		}
+		if d := bv.down; d != nil {
+			counts, err := d.recordCounts()
+			if err != nil {
+				return nil, err
+			}
+			col, err := d.channelAgg(m, counts)
+			if err != nil {
+				return nil, err
+			}
+			for i := lo; i < hi; i++ {
+				k := (ts[i] - fromN) / winN
+				w := &out[k]
+				var mn, mx, sm float64
+				if col.scale > 0 {
+					mn = float64(col.minsI[i]) / col.scale
+					mx = float64(col.maxsI[i]) / col.scale
+					sm = float64(col.sumsI[i]) / col.scale
+					if exact && col.scale == scale {
+						if s2, ok := addInt64(sumsI[k], col.sumsI[i]); ok {
+							sumsI[k] = s2
+						} else {
+							exact = false
+						}
+					} else {
+						exact = false
+					}
+				} else {
+					exact = false
+					mn, mx, sm = col.minsF[i], col.maxsF[i], col.sumsF[i]
+				}
+				if w.Count == 0 || mn < w.Min {
+					w.Min = mn
+				}
+				if w.Count == 0 || mx > w.Max {
+					w.Max = mx
+				}
+				w.Sum += sm
+				w.Count += int(counts[i])
+			}
+			continue
+		}
+		if b := bv.sealed; b != nil && exact && b.ch[m].enc == encInt && b.ch[m].scale == scale {
+			// Raw integer fast path: decode the quantized column once and
+			// derive the float values by division — the same work as the
+			// generic decode, plus the integer accumulation for free.
+			metDecode.Inc()
+			ints, err := decodeInts(b.ch[m].data, b.count)
+			if err != nil {
+				return nil, b.wrap(m.String(), err)
+			}
+			for i := lo; i < hi; i++ {
+				k := (ts[i] - fromN) / winN
+				w := &out[k]
+				v := float64(ints[i]) / scale
+				if w.Count == 0 || v < w.Min {
+					w.Min = v
+				}
+				if w.Count == 0 || v > w.Max {
+					w.Max = v
+				}
+				w.Sum += v
+				w.Count++
+				if exact {
+					if s2, ok := addInt64(sumsI[k], ints[i]); ok {
+						sumsI[k] = s2
+					} else {
+						exact = false
+					}
+				}
+			}
+			continue
+		}
 		col, err := bv.channel(m)
 		if err != nil {
 			return nil, err
 		}
 		for i := lo; i < hi; i++ {
-			w := &out[(ts[i]-fromN)/winN]
+			k := (ts[i] - fromN) / winN
+			w := &out[k]
 			v := col[i]
 			if w.Count == 0 || v < w.Min {
 				w.Min = v
@@ -201,6 +295,27 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 			}
 			w.Sum += v
 			w.Count++
+			if exact {
+				// Head values were quantized on ingest, so they round-trip
+				// through the integer grid; anything that doesn't (raw-
+				// precision channels, XOR fallback) demotes the whole query
+				// to float sums.
+				n := math.Round(v * scale)
+				if !(math.Abs(n) < maxQuantized) || float64(int64(n))/scale != v {
+					exact = false
+				} else if s2, ok := addInt64(sumsI[k], int64(n)); ok {
+					sumsI[k] = s2
+				} else {
+					exact = false
+				}
+			}
+		}
+	}
+	if exact {
+		for k := range out {
+			if out[k].Count > 0 {
+				out[k].Sum = float64(sumsI[k]) / scale
+			}
 		}
 	}
 	return out, nil

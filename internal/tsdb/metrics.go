@@ -39,6 +39,20 @@ var (
 		"time the merge iterator waits for a shard's next decoded run; near zero when prefetch keeps up", nil)
 	metScanRecords = obs.NewCounter("mira_tsdb_scan_records_merged_total",
 		"records yielded in global time order by merge iterators")
+
+	// Retention compaction (Store.Compact / CompactBefore).
+	metCompactTotal = obs.NewCounter("mira_tsdb_compact_runs_total",
+		"retention compaction runs (including no-op runs)")
+	metCompactBlocks = obs.NewCounter("mira_tsdb_compact_blocks_folded_total",
+		"raw sealed blocks folded into the downsampled tier")
+	metCompactRecords = obs.NewCounter("mira_tsdb_compact_records_folded_total",
+		"raw records folded into downsampled windows")
+	metCompactWindows = obs.NewCounter("mira_tsdb_compact_windows_written_total",
+		"downsampled windows written by compaction")
+	metCompactBytesReclaimed = obs.NewCounter("mira_tsdb_compact_bytes_reclaimed_total",
+		"payload bytes saved by folding raw blocks into downsampled blocks")
+	metCompactDur = obs.NewHistogram("mira_tsdb_compact_duration_seconds",
+		"wall time of one retention compaction run across all shards", nil)
 )
 
 // ExposeGauges registers scrape-time gauges describing this store's
@@ -60,6 +74,10 @@ func (s *Store) ExposeGauges(reg *obs.Registry) {
 		diskBytes    = reg.Gauge("mira_tsdb_disk_bytes", "segment-file footprint as of the last Flush or Open")
 		perSample    = reg.Gauge("mira_tsdb_compressed_bytes_per_sample", "sealed bytes per (timestamp, value) sample")
 		shardSamples = reg.GaugeVec("mira_tsdb_shard_samples", "stored samples per shard (rack), for ingest-skew checks", "shard")
+		coldBlocks   = reg.Gauge("mira_tsdb_cold_blocks", "downsampled blocks across all shards")
+		coldWindows  = reg.Gauge("mira_tsdb_cold_windows", "downsampled windows across all shards")
+		coldSource   = reg.Gauge("mira_tsdb_cold_source_records", "raw records folded into the downsampled tier")
+		coldBytes    = reg.Gauge("mira_tsdb_cold_bytes", "compressed payload bytes of the downsampled tier")
 	)
 	reg.OnScrape(func() {
 		st := s.Stats()
@@ -69,6 +87,10 @@ func (s *Store) ExposeGauges(reg *obs.Registry) {
 		headBytes.Set(float64(st.HeadBytes))
 		diskBytes.Set(float64(st.DiskBytes))
 		perSample.Set(st.BytesPerSample)
+		coldBlocks.Set(float64(st.ColdBlocks))
+		coldWindows.Set(float64(st.ColdWindows))
+		coldSource.Set(float64(st.ColdSourceRecords))
+		coldBytes.Set(float64(st.ColdBytes))
 		for i, n := range s.shardTotals() {
 			shardSamples.With(fmt.Sprintf("%02d", i)).Set(float64(n))
 		}

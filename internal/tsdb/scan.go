@@ -34,6 +34,7 @@ type scanRun struct {
 	times  []int64
 	cols   [sensors.NumMetrics][]float64
 	lo, hi int
+	tier   envdb.Tier // which storage tier the run decoded from
 	err    error
 	last   bool // no further runs will follow from this shard
 }
@@ -81,6 +82,9 @@ func (st *ShardStream) decodeStep() scanRun {
 			continue
 		}
 		run := scanRun{times: times, lo: lo, hi: hi}
+		if bv.down != nil {
+			run.tier = envdb.TierDownsampled
+		}
 		for m := range run.cols {
 			if run.cols[m], err = bv.channel(sensors.Metric(m)); err != nil {
 				return scanRun{err: err, last: true}
@@ -228,6 +232,7 @@ type MergeIter struct {
 	pending []*ShardStream // streams not yet admitted to the heap
 	h       streamHeap
 	cur     sensors.Record
+	curTier envdb.Tier
 	merged  uint64
 	err     error
 	closed  bool
@@ -287,12 +292,18 @@ func (it *MergeIter) Next() bool {
 	}
 	top := it.h[0]
 	it.cur = recordAt(top.rack, top.loc, top.cur.times[top.pos], &top.cur.cols, top.pos)
+	it.curTier = top.cur.tier
 	it.merged++
 	return true
 }
 
 // Record returns the record at the cursor; valid after Next returns true.
 func (it *MergeIter) Record() sensors.Record { return it.cur }
+
+// Tier reports which storage tier the current record came from: TierRaw
+// for full-rate samples, TierDownsampled for cold-tier window records
+// (timestamped at the window start, valued at the window mean).
+func (it *MergeIter) Tier() envdb.Tier { return it.curTier }
 
 // Err reports the first shard decode failure, nil on a clean scan.
 func (it *MergeIter) Err() error { return it.err }
@@ -368,7 +379,10 @@ func (h streamHeap) down(i int) {
 	}
 }
 
-var _ envdb.ShardScanner = (*Store)(nil)
+var (
+	_ envdb.ShardScanner = (*Store)(nil)
+	_ envdb.TierScanner  = (*Store)(nil)
+)
 
 // EachRecordMerged implements envdb.ShardScanner: it visits every stored
 // record in global (timestamp, rack) order, decoding shards in parallel
@@ -379,13 +393,23 @@ var _ envdb.ShardScanner = (*Store)(nil)
 // of panicking — unlike EachRecord, this surface is also meant for
 // streaming over segment-loaded stores.
 func (s *Store) EachRecordMerged(workers int, f func(sensors.Record) bool) error {
+	return s.EachRecordMergedTier(workers, func(r sensors.Record, _ envdb.Tier) bool {
+		return f(r)
+	})
+}
+
+// EachRecordMergedTier implements envdb.TierScanner: EachRecordMerged with
+// each record's storage tier, so callers can route full-rate replay logic
+// over the hot window only while still seeing the cold tier's window
+// records (one mean-valued record per compaction window).
+func (s *Store) EachRecordMergedTier(workers int, f func(sensors.Record, envdb.Tier) bool) error {
 	_, span := obs.Span(context.Background(), "tsdb.scan_merged")
 	defer span.End()
 	defer metQueryDur.With(opScanMerged).ObserveSince(time.Now())
 	it := MergeByTime(s.ScanShards(time.Unix(0, minTime), time.Unix(0, maxTime), workers))
 	defer it.Close()
 	for it.Next() {
-		if !f(it.Record()) {
+		if !f(it.Record(), it.Tier()) {
 			break
 		}
 	}

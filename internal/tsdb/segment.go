@@ -27,6 +27,14 @@ package tsdb
 //	  payloads:
 //	    times bytes, then the six channel payloads
 //
+// Downsampled-tier segments ("shard-NN.cold.seg", magic "MTSC") share the
+// same file-header shape; their per-block headers carry the compaction
+// window, window-start bounds, window count, folded source-record count,
+// and a counts payload alongside the six channel payloads (the aggregate
+// codecs live in downsample.go). Retention compaction writes them and
+// rewrites the raw segment behind them; Open resolves a crashed compaction
+// by preferring raw blocks over any cold block they overlap.
+//
 // The CRC covers the header fields as well as the payloads, so corruption
 // of counts, bounds, or encodings is caught at Open, not at decode time.
 // Payload bytes are not decoded at Open: blocks alias the file buffer and
@@ -63,6 +71,13 @@ var (
 
 var segMagic = [4]byte{'M', 'T', 'S', 'G'}
 
+// coldMagic marks downsampled-tier segments ("shard-NN.cold.seg"). They
+// share the raw format's file-header shape; each block header carries the
+// compaction window, the first/last window start, the window count, the
+// folded source-record count, and per-channel aggregate payloads
+// (see downsample.go for the payload codecs).
+var coldMagic = [4]byte{'M', 'T', 'S', 'C'}
+
 const (
 	segVersion = 1
 
@@ -70,9 +85,13 @@ const (
 	// segBlockHeaderSize covers minT, maxT, count, timesLen, six
 	// (enc, scale, dataLen) channel triples, and the CRC.
 	segBlockHeaderSize = 8 + 8 + 4 + 4 + int(sensors.NumMetrics)*(1+8+4) + 4
+	// coldBlockHeaderSize covers window, minT, maxT, count, srcRecords,
+	// timesLen, countsLen, six channel triples, and the CRC.
+	coldBlockHeaderSize = 8 + 8 + 8 + 4 + 8 + 4 + 4 + int(sensors.NumMetrics)*(1+8+4) + 4
 )
 
-func segFileName(shard int) string { return fmt.Sprintf("shard-%02d.seg", shard) }
+func segFileName(shard int) string     { return fmt.Sprintf("shard-%02d.seg", shard) }
+func coldSegFileName(shard int) string { return fmt.Sprintf("shard-%02d.cold.seg", shard) }
 
 // Flush seals every head block and persists all sealed blocks to per-shard
 // segment files under dir (created if missing), replacing existing segments
@@ -91,14 +110,25 @@ func (s *Store) Flush(dir string) error {
 	var disk int64
 	for i := range s.shards {
 		snap := s.shards[i].snapshot()
-		if len(snap.sealed) == 0 {
-			continue
+		if len(snap.sealed) > 0 {
+			n, err := writeSegment(dir, i, loc, snap.sealed)
+			if err != nil {
+				return err
+			}
+			disk += n
 		}
-		n, err := writeSegment(dir, i, loc, snap.sealed)
-		if err != nil {
-			return err
+		if len(snap.cold) > 0 {
+			name := filepath.Join(dir, coldSegFileName(i))
+			tmp := name + ".tmp"
+			n, err := writeColdSegment(tmp, i, loc, snap.cold)
+			if err != nil {
+				return err
+			}
+			if err := os.Rename(tmp, name); err != nil {
+				return fmt.Errorf("tsdb: flush shard %d: %w", i, err)
+			}
+			disk += n
 		}
-		disk += n
 	}
 	s.diskBytes.Store(disk)
 	metFlushBytes.Add(uint64(disk))
@@ -203,6 +233,28 @@ func Open(dir string, opts Options) (*Store, error) {
 		if e.IsDir() {
 			continue
 		}
+		// The raw pattern below also matches cold segment names, so the
+		// cold suffix must be routed first.
+		if ok, _ := filepath.Match("shard-*.cold.seg", e.Name()); ok {
+			path := filepath.Join(dir, e.Name())
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: open: %w", err)
+			}
+			shard, blocks, loc, err := parseColdSegment(e.Name(), buf)
+			if err != nil {
+				return nil, err
+			}
+			sh := &s.shards[shard]
+			if len(sh.cold) > 0 {
+				return nil, fmt.Errorf("tsdb: segment %s: %w: duplicate cold shard %d", e.Name(), ErrCorrupt, shard)
+			}
+			sh.cold = blocks
+			s.loc.CompareAndSwap(nil, loc)
+			disk += int64(len(buf))
+			loaded++
+			continue
+		}
 		if ok, _ := filepath.Match("shard-*.seg", e.Name()); !ok {
 			continue
 		}
@@ -223,7 +275,6 @@ func Open(dir string, opts Options) (*Store, error) {
 			sh.sealed = append(sh.sealed, b)
 			sh.total += b.count
 		}
-		sh.counter = sh.total
 		sh.lastT = blocks[len(blocks)-1].maxT
 		sh.hasLast = true
 		s.loc.CompareAndSwap(nil, loc)
@@ -232,6 +283,47 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	if loaded == 0 {
 		return nil, fmt.Errorf("tsdb: open %s: %w", dir, ErrNoData)
+	}
+	// Crash recovery across the tiers: a cold block that overlaps any raw
+	// sealed block's time range (window extents, not just starts) is a
+	// leftover from a compaction that wrote its cold segment but died
+	// before the raw rewrite. The raw data is still complete, so raw wins
+	// and the stale cold block is dropped. A clean compaction never leaves
+	// such an overlap — the fold boundary never splits a window.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if len(sh.cold) == 0 {
+			continue
+		}
+		kept := make([]*downBlock, 0, len(sh.cold))
+		for _, d := range sh.cold {
+			stale := false
+			for _, b := range sh.sealed {
+				if b.minT <= d.maxT+d.window-1 && b.maxT >= d.minT {
+					stale = true
+					break
+				}
+			}
+			if stale {
+				continue
+			}
+			kept = append(kept, d)
+			sh.total += d.count
+		}
+		sh.cold = kept
+		if len(kept) > 0 {
+			// Forbid appends into compacted windows: the watermark moves to
+			// the end of the last cold window if raw data doesn't already
+			// reach past it.
+			last := kept[len(kept)-1]
+			if end := last.maxT + last.window - 1; !sh.hasLast || end > sh.lastT {
+				sh.lastT = end
+				sh.hasLast = true
+			}
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].counter = s.shards[i].total
 	}
 	s.diskBytes.Store(disk)
 	return s, nil
@@ -298,6 +390,12 @@ func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location,
 		if b.count <= 0 {
 			return 0, nil, nil, corrupt("block %d: empty block", i)
 		}
+		// Plausibility floor before any decoder allocates count-sized
+		// buffers: delta-of-delta timestamps cost 64 bits for the first
+		// value and at least one bit for each later one.
+		if timesLen*8 < 63+b.count {
+			return 0, nil, nil, corrupt("block %d: %d samples cannot fit in %d timestamp bytes", i, b.count, timesLen)
+		}
 		if b.minT > b.maxT {
 			return 0, nil, nil, corrupt("block %d: inverted time bounds", i)
 		}
@@ -329,12 +427,226 @@ func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location,
 				if !(b.ch[m].scale > 0) || math.IsInf(b.ch[m].scale, 1) { // also rejects NaN
 					return 0, nil, nil, corrupt("block %d: channel %d: invalid scale %v", i, m, b.ch[m].scale)
 				}
+				if dataLen*8 < b.count { // varbit: at least one bit per value
+					return 0, nil, nil, corrupt("block %d: channel %d: %d values cannot fit in %d bytes", i, m, b.count, dataLen)
+				}
 			case encXOR:
+				if dataLen*8 < 63+b.count { // 64-bit first value, ≥1 bit each after
+					return 0, nil, nil, corrupt("block %d: channel %d: %d values cannot fit in %d bytes", i, m, b.count, dataLen)
+				}
 			default:
 				return 0, nil, nil, corrupt("block %d: channel %d: unknown encoding %d", i, m, b.ch[m].enc)
 			}
 		}
 		blocks = append(blocks, b)
+		off = q
+	}
+	if off != len(buf) {
+		return 0, nil, nil, corrupt("%d trailing bytes after last block", len(buf)-off)
+	}
+	return shard, blocks, loc, nil
+}
+
+// writeColdSegment writes one shard's downsampled blocks to path (no
+// rename: Flush and Compact wrap it in their own tmp+rename step so the
+// failure window is theirs to test) and fsyncs before returning.
+func writeColdSegment(path string, shard int, loc *time.Location, blocks []*downBlock) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("tsdb: compact shard %d: %w", shard, err)
+	}
+	locName := loc.String()
+	_, locOff := time.Unix(0, blocks[0].minT).In(loc).Zone()
+
+	w := bufio.NewWriter(f)
+	written := int64(segFileHeaderSize + len(locName))
+	hdr := make([]byte, 0, segFileHeaderSize)
+	hdr = append(hdr, coldMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, segVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(shard))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(blocks)))
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(locName)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(int32(locOff)))
+	hdr = append(hdr, locName...)
+	writeErr := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(path)
+		return 0, fmt.Errorf("tsdb: compact shard %d: %w", shard, err)
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return writeErr(err)
+	}
+
+	bh := make([]byte, 0, coldBlockHeaderSize)
+	for _, d := range blocks {
+		bh = bh[:0]
+		bh = binary.LittleEndian.AppendUint64(bh, uint64(d.window))
+		bh = binary.LittleEndian.AppendUint64(bh, uint64(d.minT))
+		bh = binary.LittleEndian.AppendUint64(bh, uint64(d.maxT))
+		bh = binary.LittleEndian.AppendUint32(bh, uint32(d.count))
+		bh = binary.LittleEndian.AppendUint64(bh, uint64(d.srcRecords))
+		bh = binary.LittleEndian.AppendUint32(bh, uint32(len(d.times)))
+		bh = binary.LittleEndian.AppendUint32(bh, uint32(len(d.counts)))
+		for m := range d.ch {
+			c := d.ch[m]
+			bh = append(bh, c.enc)
+			bh = binary.LittleEndian.AppendUint64(bh, math.Float64bits(c.scale))
+			bh = binary.LittleEndian.AppendUint32(bh, uint32(len(c.data)))
+		}
+		crc := crc32.ChecksumIEEE(bh)
+		crc = crc32.Update(crc, crc32.IEEETable, d.times)
+		crc = crc32.Update(crc, crc32.IEEETable, d.counts)
+		for m := range d.ch {
+			crc = crc32.Update(crc, crc32.IEEETable, d.ch[m].data)
+		}
+		bh = binary.LittleEndian.AppendUint32(bh, crc)
+		if _, err := w.Write(bh); err != nil {
+			return writeErr(err)
+		}
+		if _, err := w.Write(d.times); err != nil {
+			return writeErr(err)
+		}
+		if _, err := w.Write(d.counts); err != nil {
+			return writeErr(err)
+		}
+		written += int64(len(bh) + len(d.times) + len(d.counts))
+		for m := range d.ch {
+			if _, err := w.Write(d.ch[m].data); err != nil {
+				return writeErr(err)
+			}
+			written += int64(len(d.ch[m].data))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return writeErr(err)
+	}
+	if err := f.Sync(); err != nil {
+		return writeErr(err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("tsdb: compact shard %d: %w", shard, err)
+	}
+	return written, nil
+}
+
+// parseColdSegment validates one downsampled segment file and returns its
+// shard index, blocks (aliasing buf), and the records' location.
+func parseColdSegment(name string, buf []byte) (int, []*downBlock, *time.Location, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("tsdb: segment %s: %w: %s", name, ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(buf) < segFileHeaderSize {
+		return 0, nil, nil, corrupt("truncated file header (%d bytes)", len(buf))
+	}
+	if [4]byte(buf[:4]) != coldMagic {
+		return 0, nil, nil, corrupt("bad magic %q", buf[:4])
+	}
+	version := binary.LittleEndian.Uint16(buf[4:6])
+	if version != segVersion {
+		return 0, nil, nil, corrupt("unsupported format version %d (want %d)", version, segVersion)
+	}
+	shard := int(binary.LittleEndian.Uint16(buf[6:8]))
+	if shard >= topology.NumRacks {
+		return 0, nil, nil, corrupt("shard index %d out of range (racks: %d)", shard, topology.NumRacks)
+	}
+	nblocks := int(binary.LittleEndian.Uint32(buf[8:12]))
+	locLen := int(binary.LittleEndian.Uint16(buf[12:14]))
+	locOff := int(int32(binary.LittleEndian.Uint32(buf[14:18])))
+	if len(buf) < segFileHeaderSize+locLen {
+		return 0, nil, nil, corrupt("truncated location name")
+	}
+	locName := string(buf[segFileHeaderSize : segFileHeaderSize+locLen])
+	loc := loadLocation(locName, locOff)
+	if nblocks <= 0 || nblocks > (len(buf)-segFileHeaderSize)/coldBlockHeaderSize {
+		return 0, nil, nil, corrupt("implausible block count %d for %d bytes", nblocks, len(buf))
+	}
+
+	blocks := make([]*downBlock, 0, nblocks)
+	off := segFileHeaderSize + locLen
+	var prevEnd int64
+	for i := 0; i < nblocks; i++ {
+		if len(buf)-off < coldBlockHeaderSize {
+			return 0, nil, nil, corrupt("block %d: truncated header", i)
+		}
+		h := buf[off : off+coldBlockHeaderSize]
+		d := &downBlock{
+			window:     int64(binary.LittleEndian.Uint64(h[0:8])),
+			minT:       int64(binary.LittleEndian.Uint64(h[8:16])),
+			maxT:       int64(binary.LittleEndian.Uint64(h[16:24])),
+			count:      int(binary.LittleEndian.Uint32(h[24:28])),
+			srcRecords: int64(binary.LittleEndian.Uint64(h[28:36])),
+			src:        fmt.Sprintf("segment %s block %d", name, i),
+		}
+		timesLen := int(binary.LittleEndian.Uint32(h[36:40]))
+		countsLen := int(binary.LittleEndian.Uint32(h[40:44]))
+		payload := timesLen + countsLen
+		p := 44
+		for m := range d.ch {
+			d.ch[m].enc = h[p]
+			d.ch[m].scale = math.Float64frombits(binary.LittleEndian.Uint64(h[p+1 : p+9]))
+			dataLen := int(binary.LittleEndian.Uint32(h[p+9 : p+13]))
+			payload += dataLen
+			p += 13
+		}
+		wantCRC := binary.LittleEndian.Uint32(h[p : p+4])
+
+		if d.window <= 0 {
+			return 0, nil, nil, corrupt("block %d: invalid window %d", i, d.window)
+		}
+		if d.count <= 0 {
+			return 0, nil, nil, corrupt("block %d: empty block", i)
+		}
+		if timesLen*8 < 63+d.count {
+			return 0, nil, nil, corrupt("block %d: %d windows cannot fit in %d timestamp bytes", i, d.count, timesLen)
+		}
+		if countsLen*8 < d.count {
+			return 0, nil, nil, corrupt("block %d: %d windows cannot fit in %d count bytes", i, d.count, countsLen)
+		}
+		if d.srcRecords < int64(d.count) {
+			return 0, nil, nil, corrupt("block %d: %d source records for %d windows", i, d.srcRecords, d.count)
+		}
+		if d.minT > d.maxT {
+			return 0, nil, nil, corrupt("block %d: inverted time bounds", i)
+		}
+		if d.minT != floorDiv(d.minT, d.window)*d.window || d.maxT != floorDiv(d.maxT, d.window)*d.window {
+			return 0, nil, nil, corrupt("block %d: bounds not aligned to %dns windows", i, d.window)
+		}
+		if i > 0 && d.minT < prevEnd {
+			return 0, nil, nil, corrupt("block %d: overlaps previous block", i)
+		}
+		prevEnd = d.maxT + d.window
+		if len(buf)-off-coldBlockHeaderSize < payload {
+			return 0, nil, nil, corrupt("block %d: truncated payload (%d of %d bytes)", i, len(buf)-off-coldBlockHeaderSize, payload)
+		}
+
+		crc := crc32.ChecksumIEEE(h[:p]) // header fields, sans CRC itself
+		crc = crc32.Update(crc, crc32.IEEETable, buf[off+coldBlockHeaderSize:off+coldBlockHeaderSize+payload])
+		if crc != wantCRC {
+			return 0, nil, nil, corrupt("block %d: checksum mismatch (got %08x, want %08x)", i, crc, wantCRC)
+		}
+
+		q := off + coldBlockHeaderSize
+		d.times = buf[q : q+timesLen : q+timesLen]
+		q += timesLen
+		d.counts = buf[q : q+countsLen : q+countsLen]
+		q += countsLen
+		p = 44
+		for m := range d.ch {
+			dataLen := int(binary.LittleEndian.Uint32(h[p+9 : p+13]))
+			d.ch[m].data = buf[q : q+dataLen : q+dataLen]
+			q += dataLen
+			p += 13
+			switch d.ch[m].enc {
+			case encInt:
+				if !(d.ch[m].scale > 0) || math.IsInf(d.ch[m].scale, 1) { // also rejects NaN
+					return 0, nil, nil, corrupt("block %d: channel %d: invalid scale %v", i, m, d.ch[m].scale)
+				}
+			case encXOR:
+			default:
+				return 0, nil, nil, corrupt("block %d: channel %d: unknown encoding %d", i, m, d.ch[m].enc)
+			}
+		}
+		blocks = append(blocks, d)
 		off = q
 	}
 	if off != len(buf) {

@@ -18,6 +18,11 @@ import (
 // the coolant monitor's 300 s cadence.
 const DefaultPartition = 30 * 24 * time.Hour
 
+// DefaultCompactWindow is the cold-tier cadence retention compaction folds
+// old partitions down to: one window per hour, 1/12 of the monitor's 300 s
+// sample rate.
+const DefaultCompactWindow = time.Hour
+
 // Options configures a Store.
 type Options struct {
 	// Partition is the block length (default 30 days). Sealed blocks carry
@@ -32,6 +37,14 @@ type Options struct {
 	// Retained for drop-in compatibility with envdb.Store; compression makes
 	// full-rate six-year runs fit in memory, so the default keeps all.
 	Downsample int
+	// Retention is the hot window: Compact folds sealed partitions whose
+	// data is older than Retention (measured back from the store's last
+	// record, not wall clock — traces are simulated) into downsampled
+	// blocks at CompactWindow cadence. 0 disables compaction.
+	Retention time.Duration
+	// CompactWindow is the cold-tier window length (default 1 hour). Each
+	// downsampled window retains count/sum/min/max per channel.
+	CompactWindow time.Duration
 }
 
 // defaultDecimals mirrors the envdb CSV export schema, so ingest
@@ -48,12 +61,15 @@ func defaultDecimals(m sensors.Metric) int {
 // immutable, so readers decode outside the lock.
 type shard struct {
 	mu      sync.RWMutex
+	cold    []*downBlock // downsampled tier, strictly before every sealed block
 	sealed  []*sealedBlock
 	head    *headBlock
 	lastT   int64
 	hasLast bool
 	counter int
-	total   int
+	// total counts the records the shard yields to readers: raw samples
+	// plus one pseudo-record (the window mean) per downsampled window.
+	total int
 }
 
 // Store is a sharded, compressed, concurrent environmental database: one
@@ -65,9 +81,11 @@ type Store struct {
 	opts      Options
 	scales    [sensors.NumMetrics]float64 // 10^decimals; 0 = raw (XOR)
 	partNanos int64
+	compWin   int64 // cold-tier window length, nanoseconds
 	once      sync.Once
 	loc       atomic.Pointer[time.Location]
 	diskBytes atomic.Int64 // segment bytes as of the last Flush/Open
+	compactMu sync.Mutex   // serializes Compact runs (the only sealed-block remover)
 	shards    [topology.NumRacks]shard
 }
 
@@ -100,6 +118,10 @@ func (s *Store) init() {
 			s.opts.Partition = DefaultPartition
 		}
 		s.partNanos = int64(s.opts.Partition)
+		if s.opts.CompactWindow <= 0 {
+			s.opts.CompactWindow = DefaultCompactWindow
+		}
+		s.compWin = int64(s.opts.CompactWindow)
 		for m := range s.scales {
 			dec := s.opts.Precision[m]
 			if dec == 0 {
@@ -204,7 +226,8 @@ func (s *Store) SealAll() {
 	}
 }
 
-// Len returns the number of stored records across all racks.
+// Len returns the number of records the store yields across all racks:
+// raw samples plus one window record per downsampled window.
 func (s *Store) Len() int {
 	total := 0
 	for i := range s.shards {
@@ -221,6 +244,7 @@ func (s *Store) Len() int {
 // arrays are never mutated below the snapshotted lengths, so the snapshot
 // can be decoded and scanned lock-free.
 type snapshot struct {
+	cold      []*downBlock
 	sealed    []*sealedBlock
 	headTimes []int64
 	headVals  [sensors.NumMetrics][]float64
@@ -231,7 +255,11 @@ type snapshot struct {
 func (sh *shard) snapshot() snapshot {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	snap := snapshot{sealed: sh.sealed[:len(sh.sealed):len(sh.sealed)], total: sh.total}
+	snap := snapshot{
+		cold:   sh.cold[:len(sh.cold):len(sh.cold)],
+		sealed: sh.sealed[:len(sh.sealed):len(sh.sealed)],
+		total:  sh.total,
+	}
 	if sh.head != nil {
 		n := len(sh.head.times)
 		snap.headTimes = sh.head.times[:n:n]
@@ -242,15 +270,23 @@ func (sh *shard) snapshot() snapshot {
 	return snap
 }
 
-// blockView is one time-ordered run of samples: a sealed block (decoded
-// lazily, one column at a time) or the head prefix.
+// blockView is one time-ordered run of samples: a downsampled block (one
+// record per window, timestamped at the window start, valued at the window
+// mean), a sealed block (decoded lazily, one column at a time), or the
+// head prefix.
 type blockView struct {
+	down     *downBlock
 	sealed   *sealedBlock
 	headSnap *snapshot
 }
 
 func (snap *snapshot) blocks() []blockView {
-	views := make([]blockView, 0, len(snap.sealed)+1)
+	views := make([]blockView, 0, len(snap.cold)+len(snap.sealed)+1)
+	// Cold blocks precede every sealed block in time (the compaction
+	// boundary never splits a window), so this order is time order.
+	for _, d := range snap.cold {
+		views = append(views, blockView{down: d})
+	}
 	for _, b := range snap.sealed {
 		views = append(views, blockView{sealed: b})
 	}
@@ -261,6 +297,9 @@ func (snap *snapshot) blocks() []blockView {
 }
 
 func (bv blockView) bounds() (minT, maxT int64) {
+	if bv.down != nil {
+		return bv.down.minT, bv.down.maxT
+	}
 	if bv.sealed != nil {
 		return bv.sealed.minT, bv.sealed.maxT
 	}
@@ -268,6 +307,9 @@ func (bv blockView) bounds() (minT, maxT int64) {
 }
 
 func (bv blockView) timestamps() ([]int64, error) {
+	if bv.down != nil {
+		return bv.down.starts()
+	}
 	if bv.sealed != nil {
 		return bv.sealed.decodeTimes()
 	}
@@ -275,6 +317,13 @@ func (bv blockView) timestamps() ([]int64, error) {
 }
 
 func (bv blockView) channel(m sensors.Metric) ([]float64, error) {
+	if bv.down != nil {
+		counts, err := bv.down.recordCounts()
+		if err != nil {
+			return nil, err
+		}
+		return bv.down.channelMeans(m, counts)
+	}
 	if bv.sealed != nil {
 		return bv.sealed.decodeChannel(m)
 	}
@@ -391,15 +440,23 @@ func (s *Store) ImportCSV(r io.Reader) error { return envdb.ReadCSV(r, s) }
 
 // Stats describes the store's footprint.
 type Stats struct {
-	// Records is the total stored sample count (sealed + head).
+	// Records is the record count the store yields to readers: raw samples
+	// (sealed + head) plus one window record per downsampled window.
 	Records int
-	// SealedRecords and SealedBlocks count the compressed portion.
+	// SealedRecords and SealedBlocks count the compressed raw portion.
 	SealedRecords int
 	SealedBlocks  int
 	// SealedBytes is the compressed payload size of all sealed blocks.
 	SealedBytes int64
 	// HeadBytes is the uncompressed columnar head footprint.
 	HeadBytes int64
+	// ColdBlocks/ColdWindows/ColdSourceRecords/ColdBytes describe the
+	// downsampled tier: block and window counts, how many raw records were
+	// folded into it, and its compressed payload size.
+	ColdBlocks        int
+	ColdWindows       int
+	ColdSourceRecords int64
+	ColdBytes         int64
 	// BytesPerRecord is SealedBytes / SealedRecords: one record is one
 	// timestamp plus six float64 channels.
 	BytesPerRecord float64
@@ -431,6 +488,12 @@ func (s *Store) Stats() Stats {
 		for _, b := range snap.sealed {
 			st.SealedRecords += b.count
 			st.SealedBytes += b.payloadBytes()
+		}
+		st.ColdBlocks += len(snap.cold)
+		for _, d := range snap.cold {
+			st.ColdWindows += d.count
+			st.ColdSourceRecords += d.srcRecords
+			st.ColdBytes += d.payloadBytes()
 		}
 		st.HeadBytes += int64(len(snap.headTimes)) * 8 * (1 + int64(sensors.NumMetrics))
 	}

@@ -50,6 +50,56 @@ if ! diff -u "$data/warm.txt" "$data/scan1.txt"; then
 	exit 1
 fi
 
+# Retention compaction: persist a second store with daily partitions, then
+# let miraanalyze -retention fold everything but the newest day into 1-hour
+# downsampled windows on disk. The Fig. 7/9 pushdown figures aggregate
+# exactly across both tiers, so they must be byte-identical before and
+# after compaction; the replay figure (3) must still run over the hot
+# window.
+"$bin/mirasim" -start 2014-03-05 -end 2014-03-12 -partition 24h \
+	-data "$data/cold" >/dev/null
+"$bin/miraanalyze" -data "$data/cold" -figure 7 >"$data/fig7-before.txt"
+"$bin/miraanalyze" -data "$data/cold" -figure 9 >"$data/fig9-before.txt"
+
+"$bin/miraanalyze" -data "$data/cold" -retention 24h -figure 7 >"$data/compact.txt"
+grep -q 'compacted [0-9]* raw records into [0-9]* downsampled windows' "$data/compact.txt" || {
+	echo "smoke: miraanalyze -retention did not report a compaction" >&2
+	exit 1
+}
+find "$data/cold" -name '*.cold.seg' | grep -q . || {
+	echo "smoke: compaction left no cold segment files" >&2
+	exit 1
+}
+
+"$bin/miraanalyze" -data "$data/cold" -figure 7 >"$data/fig7-after.txt"
+"$bin/miraanalyze" -data "$data/cold" -figure 9 >"$data/fig9-after.txt"
+for fig in 7 9; do
+	tail -n +2 "$data/fig$fig-before.txt" >"$data/fig$fig-before-figs.txt"
+	tail -n +2 "$data/fig$fig-after.txt" >"$data/fig$fig-after-figs.txt"
+	if ! diff -u "$data/fig$fig-before-figs.txt" "$data/fig$fig-after-figs.txt"; then
+		echo "smoke: figure $fig pushdown differs after retention compaction" >&2
+		exit 1
+	fi
+done
+"$bin/miraanalyze" -data "$data/cold" -figure 3 >/dev/null || {
+	echo "smoke: replay figure failed over the compacted store" >&2
+	exit 1
+}
+
+# A corrupted cold segment must be rejected as descriptively as a raw one.
+coldseg=$(find "$data/cold" -name '*.cold.seg' | head -n 1)
+coldsize=$(wc -c <"$coldseg")
+truncate -s $((coldsize - 7)) "$coldseg"
+if "$bin/miraanalyze" -data "$data/cold" >"$data/cold-corrupt.txt" 2>&1; then
+	echo "smoke: corrupted cold segment was accepted" >&2
+	exit 1
+fi
+grep -q 'corrupt segment' "$data/cold-corrupt.txt" || {
+	echo "smoke: cold corruption error is not descriptive:" >&2
+	cat "$data/cold-corrupt.txt" >&2
+	exit 1
+}
+
 # Corruption: truncate one segment mid-payload.
 seg=$(find "$data/seg" -name '*.seg' | head -n 1)
 size=$(wc -c <"$seg")
@@ -64,4 +114,4 @@ grep -q 'corrupt segment' "$data/corrupt.txt" || {
 	exit 1
 }
 
-echo "smoke: ok (warm figures match the in-memory path; corruption rejected)"
+echo "smoke: ok (warm figures match the in-memory path; pushdown figures survive retention compaction; corruption rejected)"
