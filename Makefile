@@ -2,7 +2,7 @@
 # the roadmap expect before a change lands.
 GO ?= go
 
-.PHONY: check vet lint build test race bench smoke fuzz-smoke
+.PHONY: check vet lint build test race bench bench-net smoke fuzz-smoke
 
 check: vet lint build race fuzz-smoke smoke
 
@@ -31,15 +31,23 @@ race:
 smoke:
 	./scripts/smoke.sh
 
-# fuzz-smoke gives each tsdb fuzz target a short budget: segment parsing
-# and block decoding must reject arbitrary bytes with wrapped ErrCorrupt,
-# never a panic. The go fuzzer runs one target per invocation.
+# fuzz-smoke gives each fuzz target a short budget: segment parsing, block
+# decoding, and the network frame parser must reject arbitrary bytes with
+# wrapped sentinel errors (ErrCorrupt / ErrFrame), never a panic. The go
+# fuzzer runs one target per invocation.
 fuzz-smoke:
 	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz '^FuzzOpenSegment$$' -fuzztime 10s
 	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz '^FuzzDecodeBlock$$' -fuzztime 10s
+	$(GO) test ./internal/telemetrynet/ -run '^$$' -fuzz '^FuzzDecodeIngestFrame$$' -fuzztime 10s
 
 # bench reports tsdb ingest throughput, compressed bytes/sample, and
 # range-query scan performance, then snapshots the numbers (plus an
 # instrumented one-week mirasim RunReport) into BENCH_tsdb.json.
 bench:
 	./scripts/bench.sh
+
+# bench-net load-tests the network telemetry service: a miramon -serve
+# instance over a simulated two-week store, hammered by miraload's 1000
+# concurrent clients. Latency percentiles land in BENCH_net.json.
+bench-net:
+	./scripts/bench_net.sh

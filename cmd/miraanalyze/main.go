@@ -16,6 +16,11 @@
 // records older than the hot window into 1-hour downsampled windows on
 // disk; the Fig. 7/9 pushdown figures keep aggregating across both tiers
 // exactly, while the replay figures (3/8) cover the hot window.
+//
+// -remote analyzes a live telemetry server (miramon -serve) instead of a
+// local store: the same figures run through the wire-level envdb client,
+// with Fig. 7/9 aggregation pushed down to the server — the output is
+// bit-identical to analyzing the server's store in-process.
 package main
 
 import (
@@ -28,10 +33,12 @@ import (
 
 	"mira"
 	"mira/internal/analysis"
+	"mira/internal/envdb"
 	"mira/internal/obs"
 	"mira/internal/ras"
 	"mira/internal/report"
 	"mira/internal/sim"
+	"mira/internal/telemetrynet"
 	"mira/internal/timeutil"
 	"mira/internal/topology"
 	"mira/internal/tsdb"
@@ -44,6 +51,7 @@ func main() {
 		figure      = flag.String("figure", "all", "which figure to print (1..15, pue, or all)")
 		fromCSV     = flag.String("from", "", "analyze an exported telemetry CSV instead of simulating (figures 3/7/8/9 only)")
 		dataDir     = flag.String("data", "", "analyze a persisted telemetry store (figures 3/7/8/9; cold start simulates once and persists)")
+		remote      = flag.String("remote", "", "analyze a live telemetry server (miramon -serve) at this base URL (figures 3/7/8/9, e.g. http://host:8080)")
 		retention   = flag.Duration("retention", 0, "hot-window length for -data stores: fold older records into 1-hour downsampled windows on disk before analyzing (0 = keep everything full-rate)")
 		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -52,6 +60,11 @@ func main() {
 	flag.Parse()
 	logg = obs.NewLogger(os.Stderr, *logFormat, "miraanalyze")
 
+	if *remote != "" {
+		analyzeRemote(*remote, *scanWorkers, *figure)
+		writeReport(*reportPath)
+		return
+	}
 	if *dataDir != "" {
 		analyzeData(*dataDir, *seed, *step, *retention, *scanWorkers, *figure)
 		writeReport(*reportPath)
@@ -204,6 +217,28 @@ func analyzeData(dir string, seed int64, step, retention time.Duration, scanWork
 	analyzeStore(db, scanWorkers, figure)
 }
 
+// analyzeRemote regenerates the coolant/ambient figures from a live
+// telemetry server over the wire. The client satisfies the same envdb
+// surfaces as a local store — merged scans stream for the replay figures,
+// and the Fig. 7/9 aggregation pushdown runs server-side with results
+// carried as raw float64 bits — so the figures diff clean against an
+// in-process run over the same store.
+func analyzeRemote(url string, scanWorkers int, figure string) {
+	client := telemetrynet.NewClient(url, telemetrynet.ClientOptions{})
+	info, err := client.Info()
+	if err != nil {
+		logg.Fatalf("remote %s: %v", url, err)
+	}
+	if !info.HasData {
+		logg.Fatalf("remote store at %s is empty; push telemetry first (mirasim -push)", url)
+	}
+	first := time.Unix(0, info.FirstUnixNano).In(time.FixedZone("store", int(info.ZoneOffsetSeconds)))
+	last := time.Unix(0, info.LastUnixNano).In(first.Location())
+	fmt.Printf("remote store at %s: %d records, %s .. %s\n\n",
+		url, info.Records, first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
+	analyzeStore(client, scanWorkers, figure)
+}
+
 // analyzeOffline regenerates the coolant/ambient figures from an exported
 // telemetry CSV (see cmd/mirasim -telemetry).
 func analyzeOffline(path string, scanWorkers int, figure string) {
@@ -225,31 +260,32 @@ func analyzeOffline(path string, scanWorkers int, figure string) {
 }
 
 // analyzeStore prints the offline figures (3/7/8/9) from a telemetry
-// store, however it was produced (CSV import, warm segment open, or a
-// fresh simulation). The replay streams the store's parallel merged scan
-// through the collector on scanWorkers decode goroutines; when only
-// Figs. 7/9 are requested, per-rack means come straight from compressed
+// database, however it is reached (CSV import, warm segment open, a fresh
+// simulation, or a remote server through the telemetrynet client). The
+// replay streams the database's merged scan through the collector on
+// scanWorkers decode goroutines; when only Figs. 7/9 are requested and the
+// database can push down, per-rack means come straight from compressed
 // columns via aggregation pushdown and the replay is skipped entirely.
-func analyzeStore(db *tsdb.Store, scanWorkers int, figure string) {
+func analyzeStore(db envdb.DB, scanWorkers int, figure string) {
 	want := func(f string) bool { return figure == "all" || figure == f }
 	if !want("3") && !want("7") && !want("8") && !want("9") {
 		fmt.Printf("figure %s needs utilization or incident data; offline stores carry figures 3, 7, 8, and 9\n", figure)
 		return
 	}
 
-	if !want("3") && !want("8") {
+	if agg, ok := db.(envdb.Aggregator); ok && !want("3") && !want("8") {
 		// Pushdown fast path: Figs. 7 and 9 need only per-rack means, which
 		// come exactly (integer-domain sums) from compressed columns of both
 		// the raw and downsampled tiers.
 		if want("7") {
-			fig7, err := analysis.Fig7CoolantPushdown(db)
+			fig7, err := analysis.Fig7CoolantPushdown(agg)
 			if err != nil {
 				logg.Fatalf("%v", err)
 			}
 			printOfflineFig7(fig7)
 		}
 		if want("9") {
-			fig9, err := analysis.Fig9AmbientPushdown(db)
+			fig9, err := analysis.Fig9AmbientPushdown(agg)
 			if err != nil {
 				logg.Fatalf("%v", err)
 			}

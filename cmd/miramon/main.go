@@ -6,8 +6,8 @@
 // Usage:
 //
 //	miramon [-seed N] [-train-days 120] [-watch-days 45] [-data dir]
-//	        [-retention 0] [-compact-interval 1h] [-listen :8080]
-//	        [-report report.json] [-log-format text|json]
+//	        [-retention 0] [-compact-interval 1h] [-listen :8080] [-serve]
+//	        [-audit-interval 1m] [-report report.json] [-log-format text|json]
 //
 // With -data, a cold run persists the watched telemetry to segment files;
 // a warm run (segments already present) skips the simulation and instead
@@ -21,14 +21,29 @@
 // and /debug/pprof serve from startup, and after the demo finishes the
 // process stays up so the final counters remain scrapeable. If the -data
 // store is corrupt, a listening miramon reports 503 on /healthz and keeps
-// serving instead of exiting.
+// serving instead of exiting. A listening miramon shuts down gracefully on
+// SIGINT/SIGTERM: in-flight requests drain, the -data store is flushed,
+// and — with -retention — a final compaction runs before exit.
+//
+// -serve (requires -listen and -data) skips the demo and runs miramon as a
+// telemetry server: the store under -data (created empty if absent) is
+// exposed through the telemetrynet ingest and query API on the same
+// listener as /metrics, remote mirasim processes push records into it
+// (mirasim -push), remote analyses query it (miraanalyze -remote), and a
+// background auditor threshold-checks newly ingested records every
+// -audit-interval.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"mira"
@@ -38,10 +53,20 @@ import (
 	"mira/internal/obs"
 	"mira/internal/sensors"
 	"mira/internal/sim"
+	"mira/internal/telemetrynet"
 	"mira/internal/timeutil"
 	"mira/internal/topology"
 	"mira/internal/tsdb"
 	"mira/internal/units"
+)
+
+var (
+	metAuditRuns = obs.NewCounter("mira_mon_audit_runs_total",
+		"incremental threshold-audit passes over the store")
+	metAuditRecords = obs.NewCounter("mira_mon_audit_records_total",
+		"raw records threshold-checked by the incremental auditor")
+	metAuditAlarms = obs.NewCounter("mira_mon_audit_alarms_total",
+		"threshold alarms raised by the incremental auditor")
 )
 
 // watcher replays telemetry through threshold checks and the NN predictor.
@@ -109,6 +134,8 @@ func main() {
 		retention   = flag.Duration("retention", 0, "hot-window length for the -data store: fold older records into 1-hour downsampled windows on disk (0 = keep everything full-rate)")
 		compactEach = flag.Duration("compact-interval", time.Hour, "how often a listening monitor re-runs retention compaction in the background (requires -retention and -listen)")
 		listen      = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address and stay up after the demo (e.g. :8080)")
+		serve       = flag.Bool("serve", false, "run as a telemetry server: expose the -data store through the telemetrynet ingest/query API on -listen instead of running the demo")
+		auditEach   = flag.Duration("audit-interval", time.Minute, "how often a listening monitor threshold-audits records newer than the last audited timestamp")
 		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 		scanWorkers = flag.Int("scan-workers", 0, "decode workers for parallel store scans (0 = GOMAXPROCS)")
@@ -116,13 +143,64 @@ func main() {
 	flag.Parse()
 	logg := obs.NewLogger(os.Stderr, *logFormat, "miramon")
 
-	if *listen != "" {
-		addr, err := obs.Serve(*listen)
+	if *serve && (*listen == "" || *dataDir == "") {
+		logg.Fatalf("-serve requires both -listen and -data")
+	}
+
+	// serveHTTP starts the shared listener: the obs surface, plus — with
+	// -serve — the telemetry API mounted on the same mux.
+	var httpSrv *obs.HTTPServer
+	serveHTTP := func(db envdb.DB) {
+		if *listen == "" {
+			return
+		}
+		var mount func(*http.ServeMux)
+		if *serve && db != nil {
+			mount = telemetrynet.NewServer(db, telemetrynet.ServerOptions{ScanWorkers: *scanWorkers}).Mount
+		}
+		srv, err := obs.ServeWith(*listen, mount)
 		if err != nil {
 			logg.Fatalf("-listen %s: %v", *listen, err)
 		}
-		logg.Infof("serving /metrics, /healthz, and /debug/pprof on %s", addr)
+		httpSrv = srv
+		logg.Infof("serving /metrics, /healthz, and /debug/pprof on %s", srv.Addr())
+		if mount != nil {
+			logg.Infof("telemetry API on %s", srv.Addr())
+		}
 	}
+
+	if *serve {
+		db, err := tsdb.Open(*dataDir, tsdb.Options{Retention: *retention})
+		switch {
+		case errors.Is(err, tsdb.ErrNoData):
+			logg.Infof("no segments under %s; serving an empty store", *dataDir)
+			db = tsdb.NewStoreWith(tsdb.Options{Retention: *retention})
+		case errors.Is(err, tsdb.ErrCorrupt):
+			obs.SetHealth(err)
+			logg.Errorf("store under %s is corrupt; serving unhealthy: %v", *dataDir, err)
+			serveHTTP(nil)
+			finish(logg, httpSrv, nil, "", 0, *reportPath)
+			return
+		case err != nil:
+			logg.Fatalf("%v", err)
+		}
+		db.ExposeGauges(nil)
+		serveHTTP(db)
+		compactOnce(db, *dataDir, *retention, logg)
+		aud := newAuditor(db, *scanWorkers)
+		if recs, alarms, _, err := aud.runOnce(); err != nil {
+			logg.Fatalf("initial audit: %v", err)
+		} else {
+			logg.Infof("serving %d stored records (%d threshold alarms on the initial audit)", db.Len(), alarms)
+			_ = recs
+		}
+		startCompactor(db, *dataDir, *retention, *compactEach, *listen, logg)
+		aud.startLoop(*auditEach, logg)
+		finish(logg, httpSrv, db, *dataDir, *retention, *reportPath)
+		return
+	}
+
+	serveHTTP(nil)
 
 	if *dataDir != "" {
 		db, err := tsdb.Open(*dataDir, tsdb.Options{Retention: *retention})
@@ -130,16 +208,19 @@ func main() {
 		case err == nil:
 			db.ExposeGauges(nil)
 			compactOnce(db, *dataDir, *retention, logg)
-			replayAudit(db, *dataDir, *scanWorkers, logg)
+			aud := replayAudit(db, *dataDir, *scanWorkers, logg)
 			startCompactor(db, *dataDir, *retention, *compactEach, *listen, logg)
-			finish(logg, *listen, *reportPath)
+			if *listen != "" {
+				aud.startLoop(*auditEach, logg)
+			}
+			finish(logg, httpSrv, db, *dataDir, *retention, *reportPath)
 			return
 		case errors.Is(err, tsdb.ErrCorrupt) && *listen != "":
 			// A long-running monitor should surface corruption on
 			// /healthz, not die: scrapers see the 503 and the error text.
 			obs.SetHealth(err)
 			logg.Errorf("store under %s is corrupt; serving unhealthy: %v", *dataDir, err)
-			finish(logg, *listen, *reportPath)
+			finish(logg, httpSrv, nil, "", 0, *reportPath)
 			return
 		case !errors.Is(err, tsdb.ErrNoData):
 			logg.Fatalf("%v", err)
@@ -220,7 +301,97 @@ func main() {
 			*dataDir, float64(db.Stats().DiskBytes)/(1<<20))
 		startCompactor(db, *dataDir, *retention, *compactEach, *listen, logg)
 	}
-	finish(logg, *listen, *reportPath)
+	finish(logg, httpSrv, db, *dataDir, *retention, *reportPath)
+}
+
+// auditor runs incremental threshold audits: each pass scans only records
+// newer than the per-rack high-water mark of the previous pass, so a
+// long-running monitor re-checks fresh ingest instead of re-scanning the
+// whole store every interval.
+type auditor struct {
+	db         *tsdb.Store
+	workers    int
+	thresholds sensors.Thresholds
+
+	mu    sync.Mutex
+	lastN [topology.NumRacks]int64 // newest audited UnixNano per rack
+}
+
+func newAuditor(db *tsdb.Store, workers int) *auditor {
+	return &auditor{db: db, workers: workers, thresholds: sensors.DefaultThresholds()}
+}
+
+// runOnce audits everything newer than the watermarks and advances them,
+// returning the fresh raw records checked, the alarms among them, and the
+// downsampled windows skipped (hourly means would hide the excursions
+// compaction averaged away, so only raw records are threshold-checked).
+func (a *auditor) runOnce() (records, alarms, coldWindows int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, last, ok := a.db.Bounds()
+	if !ok {
+		return 0, 0, 0, nil
+	}
+	oldest := a.lastN[0]
+	for _, n := range a.lastN[1:] {
+		if n < oldest {
+			oldest = n
+		}
+	}
+	// Racks advance at different rates (one pusher per rack group), so the
+	// scan starts at the stalest rack's watermark and per-rack skips below
+	// drop the records faster racks already audited.
+	it := tsdb.MergeByTime(a.db.ScanShards(time.Unix(0, oldest+1), last.Add(time.Nanosecond), a.workers))
+	defer it.Close()
+	for it.Next() {
+		r := it.Record()
+		idx := r.Rack.Index()
+		n := r.Time.UnixNano()
+		if n <= a.lastN[idx] {
+			continue
+		}
+		a.lastN[idx] = n
+		if it.Tier() != envdb.TierRaw {
+			coldWindows++
+			continue
+		}
+		records++
+		if len(a.thresholds.Check(r)) > 0 {
+			alarms++
+		}
+	}
+	if err := it.Err(); err != nil {
+		return records, alarms, coldWindows, err
+	}
+	metAuditRuns.Inc()
+	metAuditRecords.Add(uint64(records))
+	metAuditAlarms.Add(uint64(alarms))
+	return records, alarms, coldWindows, nil
+}
+
+// startLoop re-audits every interval for the life of the process. Errors
+// are logged, not fatal: like the compactor, an audit failure must not
+// take down the serving surface, and the next tick retries from the same
+// watermarks.
+func (a *auditor) startLoop(interval time.Duration, logg *obs.Logger) {
+	if interval <= 0 {
+		return
+	}
+	logg.Infof("incremental threshold audit every %v", interval)
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for range t.C {
+			records, alarms, _, err := a.runOnce()
+			if err != nil {
+				logg.Errorf("threshold audit: %v", err)
+				continue
+			}
+			if alarms > 0 {
+				logg.Warnf("threshold audit: %d alarms across %d new records", alarms, records)
+			}
+		}
+	}()
 }
 
 // compactOnce runs one retention compaction against the persisted store
@@ -267,18 +438,43 @@ func startCompactor(db *tsdb.Store, dir string, retention, interval time.Duratio
 }
 
 // finish writes the RunReport if requested, then either exits (no -listen)
-// or parks the process so the metrics surface outlives the demo.
-func finish(logg *obs.Logger, listen, reportPath string) {
+// or keeps serving until SIGINT/SIGTERM. On a signal the shutdown is
+// graceful: the listener drains in-flight requests, then — when a -data
+// store is live — buffered records are flushed to segments and, with
+// -retention, a final compaction folds anything past the hot window, so
+// telemetry ingested right up to the signal survives the restart.
+func finish(logg *obs.Logger, srv *obs.HTTPServer, db *tsdb.Store, dataDir string, retention time.Duration, reportPath string) {
 	if reportPath != "" {
 		if err := obs.WriteRunReport(reportPath); err != nil {
 			logg.Fatalf("-report: %v", err)
 		}
 		logg.Infof("run report written to %s", reportPath)
 	}
-	if listen != "" {
-		logg.Infof("demo finished; still serving /metrics on %s (interrupt to exit)", listen)
-		select {}
+	if srv == nil {
+		return
 	}
+	logg.Infof("serving on %s (SIGINT/SIGTERM for graceful shutdown)", srv.Addr())
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	logg.Infof("%v: shutting down", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logg.Errorf("http shutdown: %v", err)
+	}
+	if db != nil && dataDir != "" {
+		if err := db.Flush(dataDir); err != nil {
+			logg.Fatalf("final flush: %v", err)
+		}
+		if retention > 0 {
+			if _, err := db.Compact(dataDir); err != nil {
+				logg.Errorf("final compaction: %v", err)
+			}
+		}
+		logg.Infof("store flushed to %s (%d records)", dataDir, db.Len())
+	}
+	logg.Infof("shutdown complete")
 }
 
 // summarizeAnalysis runs the rack-level coolant and ambient figures over
@@ -294,8 +490,10 @@ func summarizeAnalysis(db *tsdb.Store, workers int) {
 
 // replayAudit is the warm-start path: no simulation, no NN (the model
 // trains on simulated incidents) — just classic threshold monitoring and
-// the aggregation pushdown summary over the persisted telemetry.
-func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) {
+// the aggregation pushdown summary over the persisted telemetry. The
+// returned auditor's watermarks sit at the end of the store, so a
+// subsequent audit loop re-checks only newly appended records.
+func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) *auditor {
 	first, last, ok := db.Bounds()
 	if !ok {
 		logg.Fatalf("store under %s is empty", dir)
@@ -305,23 +503,12 @@ func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) {
 		db.Len(), dir, float64(st.DiskBytes)/(1<<20))
 	fmt.Printf("window: %s .. %s\n\n", first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
 
-	thresholds := sensors.DefaultThresholds()
-	warnings, coldWindows := 0, 0
-	// The merged scan decodes shards in parallel and — unlike EachRecord —
-	// returns decode failures instead of panicking, which suits a replay
-	// over disk-loaded segments. Downsampled cold-tier records are hourly
-	// means, not samples: checking thresholds against them would hide the
-	// excursions compaction averaged away, so only raw records are checked.
-	if err := db.EachRecordMergedTier(workers, func(r sensors.Record, tier envdb.Tier) bool {
-		if tier != envdb.TierRaw {
-			coldWindows++
-			return true
-		}
-		if len(thresholds.Check(r)) > 0 {
-			warnings++
-		}
-		return true
-	}); err != nil {
+	// The merged scan behind the auditor decodes shards in parallel and —
+	// unlike EachRecord — returns decode failures instead of panicking,
+	// which suits a replay over disk-loaded segments.
+	aud := newAuditor(db, workers)
+	_, warnings, coldWindows, err := aud.runOnce()
+	if err != nil {
 		logg.Fatalf("scan: %v", err)
 	}
 	fmt.Printf("threshold alarms over the stored window: %d\n", warnings)
@@ -344,6 +531,7 @@ func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) {
 	}
 
 	summarizeAnalysis(db, workers)
+	return aud
 }
 
 // gate forwards recorder callbacks only after a cutoff time.

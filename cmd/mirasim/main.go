@@ -5,7 +5,7 @@
 //
 //	mirasim [-seed N] [-start 2014-01-01] [-end 2020-01-01] [-step 300s]
 //	        [-downsample N] [-partition 720h] [-retention 0] [-data dir]
-//	        [-telemetry out.csv] [-ras out.log]
+//	        [-telemetry out.csv] [-ras out.log] [-push http://host:8080]
 //
 // With no output flags, a run summary is printed to stdout. -data persists
 // the compressed telemetry store to per-shard segment files, which
@@ -16,6 +16,12 @@
 // answers from. -listen serves /metrics, /healthz, and pprof
 // live while the simulation runs; -report snapshots every metric to a JSON
 // RunReport at exit.
+//
+// -push streams the telemetry over the wire to a remote miramon -serve
+// instead of a local store: ticks batch into idempotent CRC-checked ingest
+// frames as the simulation runs, so the remote store is live (queryable by
+// miraanalyze -remote) while the run is still in flight. Local store
+// outputs (-data, -telemetry, -retention, -downsample) do not apply.
 package main
 
 import (
@@ -24,8 +30,10 @@ import (
 	"os"
 	"time"
 
+	"mira/internal/envdb"
 	"mira/internal/obs"
 	"mira/internal/sim"
+	"mira/internal/telemetrynet"
 	"mira/internal/timeutil"
 	"mira/internal/tsdb"
 	"mira/internal/workload"
@@ -43,6 +51,7 @@ func main() {
 		dataDir    = flag.String("data", "", "persist the telemetry store to segment files under this directory")
 		telemetry  = flag.String("telemetry", "", "write telemetry CSV to this file")
 		rasOut     = flag.String("ras", "", "write the deduplicated failure log to this file")
+		push       = flag.String("push", "", "stream telemetry to a remote miramon -serve at this base URL (e.g. http://host:8080) instead of a local store")
 		listen     = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address while the run is live (e.g. :8080)")
 		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -59,6 +68,10 @@ func main() {
 		logg.Fatalf("bad -end: %v", err)
 	}
 
+	if *push != "" && (*dataDir != "" || *telemetry != "" || *retention > 0) {
+		logg.Fatalf("-push streams to a remote store; it cannot be combined with -data, -telemetry, or -retention")
+	}
+
 	db := tsdb.NewStoreWith(tsdb.Options{Downsample: *downsample, Partition: *partition, Retention: *retention})
 	db.ExposeGauges(nil)
 	if *listen != "" {
@@ -69,7 +82,14 @@ func main() {
 		logg.Infof("serving /metrics, /healthz, and /debug/pprof on %s", addr)
 	}
 
-	rec := sim.NewEnvDBRecorder(db)
+	var sink envdb.DB = db
+	var pushClient *telemetrynet.Client
+	if *push != "" {
+		pushClient = telemetrynet.NewClient(*push, telemetrynet.ClientOptions{})
+		sink = pushClient
+		logg.Infof("pushing telemetry to %s", *push)
+	}
+	rec := sim.NewEnvDBRecorder(sink)
 	s := sim.New(sim.Config{Seed: *seed, Start: start, End: end, Step: *step})
 	s.AddRecorder(rec)
 
@@ -85,10 +105,25 @@ func main() {
 	cmfs := s.Log().DedupCMF()
 	nonCMF := s.Log().DedupNonCMF()
 	fmt.Printf("simulated %s .. %s at step %v in %v\n", start.Format("2006-01-02"), end.Format("2006-01-02"), *step, elapsed.Round(time.Millisecond))
-	db.SealAll()
-	st := db.Stats()
-	fmt.Printf("telemetry samples stored: %d (1 of every %d) in %.1f MiB compressed (%.2f B/record, %.2f B/sample)\n",
-		db.Len(), *downsample, float64(st.SealedBytes+st.HeadBytes)/(1<<20), st.BytesPerRecord, st.BytesPerSample)
+	if pushClient != nil {
+		// The recorder latched per-batch errors above; the tail batch still
+		// needs a final flush before the push counters are complete.
+		if err := pushClient.Flush(); err != nil {
+			logg.Fatalf("push: %v", err)
+		}
+		ps := pushClient.Stats()
+		remote, err := pushClient.Info()
+		if err != nil {
+			logg.Fatalf("remote info: %v", err)
+		}
+		fmt.Printf("telemetry pushed: %d records in %d batches (%d retries, %d deduplicated); remote store holds %d records\n",
+			ps.PushedRecords, ps.PushedBatches, ps.Retries, ps.DuplicateBatches, remote.Records)
+	} else {
+		db.SealAll()
+		st := db.Stats()
+		fmt.Printf("telemetry samples stored: %d (1 of every %d) in %.1f MiB compressed (%.2f B/record, %.2f B/sample)\n",
+			db.Len(), *downsample, float64(st.SealedBytes+st.HeadBytes)/(1<<20), st.BytesPerRecord, st.BytesPerSample)
+	}
 	fmt.Printf("RAS events logged: %d raw\n", s.Log().Len())
 	fmt.Printf("coolant monitor failures (deduplicated): %d across %d incidents\n", len(cmfs), len(s.Incidents()))
 	fmt.Printf("non-CMF fatal failures (deduplicated): %d\n", len(nonCMF))

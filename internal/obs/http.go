@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -17,7 +18,9 @@ import (
 //
 // The pprof handlers are mounted explicitly so the surface works on this
 // private mux without touching http.DefaultServeMux.
-func (r *Registry) HTTPHandler() http.Handler {
+func (r *Registry) HTTPHandler() http.Handler { return r.buildMux() }
+
+func (r *Registry) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -48,19 +51,58 @@ func (r *Registry) HTTPHandler() http.Handler {
 	return mux
 }
 
-// Serve starts the observability surface on addr (":8080", "127.0.0.1:0",
-// ...) in a background goroutine and returns the bound address — useful
-// with port 0. The listener lives for the rest of the process; cmds exit by
-// process termination, so there is no Shutdown plumbing.
-func (r *Registry) Serve(addr string) (string, error) {
+// HTTPServer is a running observability surface with optional extra
+// handlers mounted on the same mux (see ServeWith). Unlike the fire-and-
+// forget Serve, it supports graceful shutdown so services that accept
+// remote writes can stop taking requests before flushing state to disk.
+type HTTPServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *HTTPServer) Addr() string { return s.addr }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to ctx's deadline.
+func (s *HTTPServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// ServeWith starts the observability surface on addr with extra routes:
+// mount (if non-nil) is called with the mux before serving, so callers can
+// add endpoints — e.g. the telemetrynet ingest/query API — alongside
+// /metrics, /healthz, and pprof on one listener. The server runs in a
+// background goroutine until Shutdown.
+func (r *Registry) ServeWith(addr string, mount func(mux *http.ServeMux)) (*HTTPServer, error) {
+	mux := r.buildMux()
+	if mount != nil {
+		mount(mux)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.HTTPHandler()}
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
-	return ln.Addr().String(), nil
+	return &HTTPServer{srv: srv, addr: ln.Addr().String()}, nil
+}
+
+// Serve starts the observability surface on addr (":8080", "127.0.0.1:0",
+// ...) in a background goroutine and returns the bound address — useful
+// with port 0. The listener lives for the rest of the process; cmds that
+// need graceful shutdown use ServeWith instead.
+func (r *Registry) Serve(addr string) (string, error) {
+	s, err := r.ServeWith(addr, nil)
+	if err != nil {
+		return "", err
+	}
+	return s.Addr(), nil
 }
 
 // Serve starts the default registry's surface on addr.
 func Serve(addr string) (string, error) { return defaultRegistry.Serve(addr) }
+
+// ServeWith starts the default registry's surface on addr with extra
+// routes mounted on the same mux.
+func ServeWith(addr string, mount func(mux *http.ServeMux)) (*HTTPServer, error) {
+	return defaultRegistry.ServeWith(addr, mount)
+}

@@ -1,0 +1,210 @@
+package telemetrynet
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mira/internal/envdb"
+	"mira/internal/sensors"
+	"mira/internal/tsdb"
+)
+
+// TestClientRetryDedup is the end-to-end retry story: the server applies a
+// push but the response is lost, the client retries the same batch token,
+// and the records land exactly once.
+func TestClientRetryDedup(t *testing.T) {
+	store := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour})
+	inner := NewServer(store, ServerOptions{}).Handler()
+	var calls int32
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/ingest" && atomic.AddInt32(&calls, 1) == 1 {
+			// Apply the batch, then lose the response on the wire.
+			inner.ServeHTTP(httptest.NewRecorder(), r)
+			http.Error(w, "simulated response loss", http.StatusBadGateway)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	client := NewClient(proxy.URL, ClientOptions{BatchSize: 1 << 20, Retries: 3})
+	recs := netTrace(3)
+	fillStore(t, client, recs)
+	if err := client.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if store.Len() != len(recs) {
+		t.Fatalf("store has %d records, want %d (retried batch must dedup)", store.Len(), len(recs))
+	}
+	stats := client.Stats()
+	if stats.Retries != 1 || stats.DuplicateBatches != 1 || stats.PushedBatches != 1 {
+		t.Fatalf("stats = %+v, want 1 retry / 1 duplicate / 1 batch", stats)
+	}
+}
+
+// TestClientPushRejected: a 4xx rejection is permanent — no retries, the
+// error surfaces, and the poisoned batch is dropped so later pushes work.
+func TestClientPushRejected(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "out of order", http.StatusConflict)
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ClientOptions{Retries: 3})
+	fillStore(t, client, netTrace(1))
+	err := client.Flush()
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("flush err = %v, want rejection", err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("4xx retried %d times, want a single attempt", n)
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatalf("flush after drop: %v (rejected batch must not stick)", err)
+	}
+}
+
+// TestClientTransportExhaustion: every attempt fails → the error reports
+// the attempt count and the batch is consumed.
+func TestClientTransportExhaustion(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, ClientOptions{Retries: 2})
+	fillStore(t, client, netTrace(1))
+	err := client.Flush()
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("flush err = %v, want exhaustion after 3 attempts", err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 3 {
+		t.Fatalf("made %d attempts, want 3", n)
+	}
+}
+
+// TestClientScanFallback: against a server without /v1/scan (an older
+// deployment), the merged and rack-order iterations degrade to per-rack
+// range queries with identical visit order.
+func TestClientScanFallback(t *testing.T) {
+	store := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour})
+	fillStore(t, store, netTrace(6))
+	inner := NewServer(store, ServerOptions{}).Handler()
+	noScan := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/scan" {
+			http.NotFound(w, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer noScan.Close()
+	client := NewClient(noScan.URL, ClientOptions{})
+
+	var want []sensors.Record
+	if err := store.EachRecordMergedTier(2, func(r sensors.Record, _ envdb.Tier) bool {
+		want = append(want, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []sensors.Record
+	if err := client.EachRecordMergedTier(2, func(r sensors.Record, tier envdb.Tier) bool {
+		if tier != envdb.TierRaw {
+			t.Fatalf("fallback tier = %v, want TierRaw", tier)
+		}
+		got = append(got, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fallback merged scan: %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameRecord(got[i], want[i]) {
+			t.Fatalf("fallback merged record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+
+	var rackWant, rackGot []sensors.Record
+	store.EachRecord(func(r sensors.Record) { rackWant = append(rackWant, r) })
+	client.EachRecord(func(r sensors.Record) { rackGot = append(rackGot, r) })
+	if len(rackGot) != len(rackWant) {
+		t.Fatalf("fallback rack scan: %d records, want %d", len(rackGot), len(rackWant))
+	}
+	for i := range rackWant {
+		if !sameRecord(rackGot[i], rackWant[i]) {
+			t.Fatalf("fallback rack record %d mismatch", i)
+		}
+	}
+}
+
+// TestClientCSV: the client's CSV surface matches the store's byte for
+// byte, and an import round-trips through the wire.
+func TestClientCSV(t *testing.T) {
+	store := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour})
+	fillStore(t, store, netTrace(5))
+	_, client := startServer(t, store)
+
+	var fromStore, fromClient bytes.Buffer
+	if err := store.ExportCSV(&fromStore); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ExportCSV(&fromClient); err != nil {
+		t.Fatal(err)
+	}
+	if fromStore.String() != fromClient.String() {
+		t.Fatal("client CSV export differs from store export")
+	}
+
+	dst := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour})
+	_, dstClient := startServer(t, dst)
+	if err := dstClient.ImportCSV(bytes.NewReader(fromStore.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != store.Len() {
+		t.Fatalf("imported %d records over the wire, want %d", dst.Len(), store.Len())
+	}
+	var reexport bytes.Buffer
+	if err := dst.ExportCSV(&reexport); err != nil {
+		t.Fatal(err)
+	}
+	if reexport.String() != fromStore.String() {
+		t.Fatal("CSV push round-trip changed the data")
+	}
+}
+
+// TestClientInterfaces pins the capability set other packages type-assert.
+func TestClientInterfaces(t *testing.T) {
+	var db envdb.DB = NewClient("http://unused", ClientOptions{})
+	if _, ok := db.(envdb.Aggregator); !ok {
+		t.Error("Client does not satisfy envdb.Aggregator")
+	}
+	if _, ok := db.(envdb.ShardScanner); !ok {
+		t.Error("Client does not satisfy envdb.ShardScanner")
+	}
+	if _, ok := db.(envdb.TierScanner); !ok {
+		t.Error("Client does not satisfy envdb.TierScanner")
+	}
+}
+
+// TestClientErrorPanics: the error-free read surface panics (rather than
+// returning zero values) when the server is unreachable.
+func TestClientErrorPanics(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1", ClientOptions{
+		HTTPClient: &http.Client{Timeout: 200 * time.Millisecond},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Len on unreachable server returned instead of panicking")
+		}
+	}()
+	client.Len()
+}

@@ -1,0 +1,58 @@
+package telemetrynet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mira/internal/sensors"
+)
+
+// FuzzDecodeIngestFrame pins the wire decoders' corruption contract:
+// arbitrary bytes — hostile, bit-flipped, or truncated — decode to a valid
+// value, a clean io.EOF, or a wrapped ErrFrame. Never a panic, and never a
+// runaway allocation (the count/length caps bound every make). The chunk-
+// stream reader is exercised on the same corpus since both parsers face
+// the network.
+func FuzzDecodeIngestFrame(f *testing.F) {
+	valid := encodeIngestFrame(nil, 77, 3, wireTrace(4))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0x80
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("MTN1 but not really a frame"))
+	var chunked bytes.Buffer
+	cw := newChunkWriter(&chunked, true, -21600)
+	for _, r := range wireTrace(6) {
+		cw.add(r, 1)
+	}
+	cw.close()
+	f.Add(chunked.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			_, err := decodeIngestFrame(r)
+			if err == nil {
+				continue
+			}
+			if err != io.EOF && !errors.Is(err, ErrFrame) {
+				t.Fatalf("decodeIngestFrame: %v is neither io.EOF nor ErrFrame", err)
+			}
+			break
+		}
+		err := readChunkStream(bytes.NewReader(data), func(sensors.Record, byte) bool { return true })
+		if err != nil && !errors.Is(err, ErrFrame) {
+			t.Fatalf("readChunkStream: %v is not ErrFrame", err)
+		}
+		if _, _, err := decodeSeries(bytes.NewReader(data)); err != nil && !errors.Is(err, ErrFrame) {
+			t.Fatalf("decodeSeries: %v is not ErrFrame", err)
+		}
+		if _, _, err := decodeAggs(bytes.NewReader(data)); err != nil && !errors.Is(err, ErrFrame) {
+			t.Fatalf("decodeAggs: %v is not ErrFrame", err)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package telemetrynet
+
+// Observability instrumentation of the network layer, under the same
+// mira_[a-z_]+ naming gate (scripts/lint_metrics.go) as every other
+// subsystem. Server metrics count what crossed the wire and how long each
+// endpoint took; client metrics count pushes, retries, and dedup-confirmed
+// replays so a flaky link is visible from either end.
+
+import "mira/internal/obs"
+
+var (
+	// Server side.
+	metIngestBatches = obs.NewCounter("mira_net_ingest_batches_total",
+		"ingest frames accepted and applied to the store")
+	metIngestRecords = obs.NewCounter("mira_net_ingest_records_total",
+		"records accepted over the wire across all ingest frames")
+	metIngestDuplicates = obs.NewCounter("mira_net_ingest_duplicate_batches_total",
+		"ingest frames dropped as replays of an already-applied batch token")
+	metIngestErrors = obs.NewCounter("mira_net_ingest_errors_total",
+		"ingest requests rejected: malformed frames, bad tokens, or append failures")
+	metRequestDur = obs.NewHistogramVec("mira_net_request_duration_seconds",
+		"latency of the telemetry API, labeled by endpoint", "endpoint", nil)
+	metScanRecordsSent = obs.NewCounter("mira_net_scan_records_sent_total",
+		"records streamed to remote scan and query clients")
+
+	// Client side.
+	metClientPushBatches = obs.NewCounter("mira_net_client_push_batches_total",
+		"ingest frames pushed by telemetrynet clients in this process")
+	metClientPushRecords = obs.NewCounter("mira_net_client_push_records_total",
+		"records pushed by telemetrynet clients in this process")
+	metClientRetries = obs.NewCounter("mira_net_client_push_retries_total",
+		"push attempts repeated after a transport failure or 5xx response")
+	metClientErrors = obs.NewCounter("mira_net_client_errors_total",
+		"client requests that failed after exhausting retries")
+)

@@ -1,0 +1,377 @@
+package telemetrynet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mira/internal/envdb"
+	"mira/internal/obs"
+	"mira/internal/sensors"
+	"mira/internal/topology"
+)
+
+// ServerOptions configures a telemetry Server.
+type ServerOptions struct {
+	// ScanWorkers bounds the decode workers behind streaming scan requests
+	// (<= 0 selects GOMAXPROCS); forwarded to the store's merged scan.
+	ScanWorkers int
+}
+
+// Server exposes an environmental database over HTTP: a batched,
+// CRC-checked, idempotent ingest endpoint plus query endpoints mirroring
+// the envdb.DB / envdb.Aggregator read surface. Mount it on the obs
+// observability mux (obs.ServeWith) so /metrics, /healthz, pprof, and the
+// telemetry API share one listener — the miramon -serve topology.
+//
+// Every endpoint is safe for concurrent use to the extent the underlying
+// store is; tsdb.Store serves concurrent ingest and queries.
+type Server struct {
+	db   envdb.DB
+	opts ServerOptions
+
+	// seen maps client ID → highest batch sequence applied (or rejected).
+	// The watermark advances before the batch is appended, so a retry of a
+	// push whose response was lost — or of a batch the store rejected — is
+	// dropped as a duplicate instead of double-appending records.
+	mu   sync.Mutex
+	seen map[uint64]uint64
+}
+
+// NewServer wraps db in a telemetry service.
+func NewServer(db envdb.DB, opts ServerOptions) *Server {
+	return &Server{db: db, opts: opts, seen: make(map[uint64]uint64)}
+}
+
+// Mount registers the telemetry API on mux under /v1/.
+func (s *Server) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/ingest", s.timed("ingest", s.handleIngest))
+	mux.HandleFunc("/v1/query", s.timed("query", s.handleQuery))
+	mux.HandleFunc("/v1/series", s.timed("series", s.handleSeries))
+	mux.HandleFunc("/v1/aggregate", s.timed("aggregate", s.handleAggregate))
+	mux.HandleFunc("/v1/scan", s.timed("scan", s.handleScan))
+	mux.HandleFunc("/v1/info", s.timed("info", s.handleInfo))
+}
+
+// Handler returns a standalone handler serving only the telemetry API
+// (tests; production deployments mount on the obs mux instead).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Mount(mux)
+	return mux
+}
+
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := metRequestDur.With(endpoint)
+	return func(w http.ResponseWriter, req *http.Request) {
+		defer hist.ObserveSince(time.Now())
+		h(w, req)
+	}
+}
+
+// IngestResult is the JSON body of a successful ingest response.
+type IngestResult struct {
+	AcceptedBatches  int `json:"accepted_batches"`
+	AcceptedRecords  int `json:"accepted_records"`
+	DuplicateBatches int `json:"duplicate_batches"`
+}
+
+// markSeen records (client, seq) and reports whether the batch is new.
+func (s *Server) markSeen(clientID, seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.seen[clientID] {
+		return false
+	}
+	s.seen[clientID] = seq
+	return true
+}
+
+// handleIngest reads a stream of ingest frames from the request body and
+// appends each new batch to the store. Frames apply in order; the first
+// malformed frame fails the request with 400 (already-applied frames stay
+// applied — the client's retry replays them as deduplicated tokens). An
+// append rejection (e.g. out-of-order telemetry) is the client's data
+// error: 409, and the batch token is consumed so a blind retry does not
+// duplicate the records that did land.
+func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	_, span := obs.Span(req.Context(), "net.ingest")
+	defer span.End()
+	var res IngestResult
+	for {
+		fr, err := decodeIngestFrame(req.Body)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			metIngestErrors.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !s.markSeen(fr.ClientID, fr.Seq) {
+			metIngestDuplicates.Inc()
+			res.DuplicateBatches++
+			continue
+		}
+		for i, rec := range fr.Records {
+			if err := s.db.Append(rec); err != nil {
+				metIngestErrors.Inc()
+				http.Error(w, fmt.Sprintf("batch %d record %d: %v", fr.Seq, i, err), http.StatusConflict)
+				return
+			}
+		}
+		metIngestBatches.Inc()
+		metIngestRecords.Add(uint64(len(fr.Records)))
+		res.AcceptedBatches++
+		res.AcceptedRecords += len(fr.Records)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// queryParams parses the shared rack/from/to parameters. Times travel as
+// UnixNano integers — exact, zone-free instants.
+func queryParams(req *http.Request) (rack topology.RackID, from, to time.Time, err error) {
+	q := req.URL.Query()
+	idx, err := strconv.Atoi(q.Get("rack"))
+	if err != nil || idx < 0 || idx >= topology.NumRacks {
+		return rack, from, to, fmt.Errorf("bad rack %q", q.Get("rack"))
+	}
+	fromN, err := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err != nil {
+		return rack, from, to, fmt.Errorf("bad from %q", q.Get("from"))
+	}
+	toN, err := strconv.ParseInt(q.Get("to"), 10, 64)
+	if err != nil {
+		return rack, from, to, fmt.Errorf("bad to %q", q.Get("to"))
+	}
+	return topology.RackByIndex(idx), time.Unix(0, fromN).UTC(), time.Unix(0, toN).UTC(), nil
+}
+
+func metricParam(req *http.Request) (sensors.Metric, error) {
+	m, err := strconv.Atoi(req.URL.Query().Get("metric"))
+	if err != nil || m < 0 || m >= int(sensors.NumMetrics) {
+		return 0, fmt.Errorf("bad metric %q", req.URL.Query().Get("metric"))
+	}
+	return sensors.Metric(m), nil
+}
+
+// zoneOff reports the store's zone offset (from its earliest record), so
+// remote reads reconstruct instants in the same calendar zone as local
+// reads — monthly bucketing downstream depends on it.
+func (s *Server) zoneOff() int32 {
+	if agg, ok := s.db.(envdb.Aggregator); ok {
+		if first, _, ok := agg.Bounds(); ok {
+			return zoneOffset(first)
+		}
+		return 0
+	}
+	var off int32
+	s.db.EachRecordUntil(func(r sensors.Record) bool {
+		off = zoneOffset(r.Time)
+		return false
+	})
+	return off
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
+	rack, from, to, err := queryParams(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs := s.db.Query(rack, from, to)
+	cw := newChunkWriter(w, false, s.zoneOff())
+	for _, r := range recs {
+		if err := cw.add(r, 0); err != nil {
+			return // client went away mid-stream
+		}
+	}
+	if cw.close() == nil {
+		metScanRecordsSent.Add(uint64(len(recs)))
+	}
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, req *http.Request) {
+	rack, from, to, err := queryParams(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m, err := metricParam(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	times, vals := s.db.Series(rack, m, from, to)
+	encodeSeries(w, s.zoneOff(), times, vals)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, req *http.Request) {
+	agg, ok := s.db.(envdb.Aggregator)
+	if !ok {
+		http.Error(w, "store does not support aggregation pushdown", http.StatusNotImplemented)
+		return
+	}
+	rack, from, to, err := queryParams(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m, err := metricParam(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	windowN, err := strconv.ParseInt(req.URL.Query().Get("window"), 10, 64)
+	if err != nil || windowN < 0 {
+		http.Error(w, fmt.Sprintf("bad window %q", req.URL.Query().Get("window")), http.StatusBadRequest)
+		return
+	}
+	_, span := obs.Span(req.Context(), "net.aggregate")
+	defer span.End()
+	aggs, err := agg.Aggregate(rack, m, from, to, time.Duration(windowN))
+	if err != nil {
+		// The store rejected the shape of the query (e.g. too many
+		// windows): the client's error, not the server's.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wire := make([]windowAgg, len(aggs))
+	for i, a := range aggs {
+		wire[i] = windowAgg{startN: a.Start.UnixNano(), count: int64(a.Count), min: a.Min, max: a.Max, sum: a.Sum}
+	}
+	encodeAggs(w, s.zoneOff(), wire)
+}
+
+// handleScan streams every stored record as a chunked frame sequence.
+// order=rack (default) walks rack-major like envdb.DB.EachRecord;
+// order=time yields the global time-ordered merge (rack ascending within
+// an instant) and honors tiers=1 by appending each record's storage tier.
+// Stores without the merged-scan capability fall back to a server-side
+// buffered sort, so the endpoint's contract holds for any envdb.DB.
+func (s *Server) handleScan(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	order := q.Get("order")
+	if order == "" {
+		order = "rack"
+	}
+	tiered := q.Get("tiers") == "1"
+	workers := s.opts.ScanWorkers
+	if ws := q.Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad workers %q", ws), http.StatusBadRequest)
+			return
+		}
+		// The server's own option caps remote fan-out requests: a client
+		// cannot demand more decode goroutines than the operator allowed.
+		if workers <= 0 || (n > 0 && n < workers) {
+			workers = n
+		}
+	}
+	_, span := obs.Span(req.Context(), "net.scan")
+	defer span.End()
+	cw := newChunkWriter(w, tiered, s.zoneOff())
+	sent := 0
+	emit := func(r sensors.Record, tier envdb.Tier) bool {
+		if err := cw.add(r, byte(tier)); err != nil {
+			return false // client went away; abandon the scan
+		}
+		sent++
+		return true
+	}
+	var err error
+	switch order {
+	case "rack":
+		s.db.EachRecordUntil(func(r sensors.Record) bool { return emit(r, envdb.TierRaw) })
+	case "time":
+		err = s.mergedScan(workers, emit)
+	default:
+		http.Error(w, fmt.Sprintf("bad order %q", order), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		// Mid-stream failure: the chunk stream just stops without its
+		// terminator, which the client decodes as a truncated stream.
+		return
+	}
+	if cw.close() == nil {
+		metScanRecordsSent.Add(uint64(sent))
+	}
+}
+
+// mergedScan drives the store's best global-time-order capability:
+// TierScanner, then ShardScanner, then a buffered sort over EachRecord for
+// minimal stores.
+func (s *Server) mergedScan(workers int, f func(sensors.Record, envdb.Tier) bool) error {
+	if ts, ok := s.db.(envdb.TierScanner); ok {
+		return ts.EachRecordMergedTier(workers, f)
+	}
+	if ss, ok := s.db.(envdb.ShardScanner); ok {
+		return ss.EachRecordMerged(workers, func(r sensors.Record) bool { return f(r, envdb.TierRaw) })
+	}
+	var all []sensors.Record
+	s.db.EachRecord(func(r sensors.Record) { all = append(all, r) })
+	sort.SliceStable(all, func(a, b int) bool {
+		ta, tb := all[a].Time.UnixNano(), all[b].Time.UnixNano()
+		if ta != tb {
+			return ta < tb
+		}
+		return all[a].Rack.Index() < all[b].Rack.Index()
+	})
+	for _, r := range all {
+		if !f(r, envdb.TierRaw) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Info is the JSON body of /v1/info: the store's record count, time
+// bounds, and calendar zone.
+type Info struct {
+	Records           int   `json:"records"`
+	HasData           bool  `json:"has_data"`
+	FirstUnixNano     int64 `json:"first_unixnano"`
+	LastUnixNano      int64 `json:"last_unixnano"`
+	ZoneOffsetSeconds int32 `json:"zone_offset_seconds"`
+	// Aggregator reports whether /v1/aggregate is available, so clients
+	// can fall back to client-side aggregation without a probe request.
+	Aggregator bool `json:"aggregator"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, req *http.Request) {
+	info := Info{Records: s.db.Len(), ZoneOffsetSeconds: s.zoneOff()}
+	if agg, ok := s.db.(envdb.Aggregator); ok {
+		info.Aggregator = true
+		if first, last, ok := agg.Bounds(); ok {
+			info.HasData = true
+			info.FirstUnixNano = first.UnixNano()
+			info.LastUnixNano = last.UnixNano()
+		}
+	} else {
+		s.db.EachRecordUntil(func(r sensors.Record) bool {
+			n := r.Time.UnixNano()
+			if !info.HasData || n < info.FirstUnixNano {
+				info.FirstUnixNano = n
+			}
+			if !info.HasData || n > info.LastUnixNano {
+				info.LastUnixNano = n
+			}
+			info.HasData = true
+			return true
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}

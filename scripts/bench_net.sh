@@ -1,0 +1,59 @@
+#!/bin/sh
+# bench_net.sh -- network-path benchmark: simulate a telemetry window into
+# a store, serve it with miramon -serve, and hammer the query API with
+# miraload's concurrent clients. Writes the latency/throughput snapshot to
+# BENCH_net.json (schema mira-bench-net/v1) in the repo root.
+#
+# Usage: scripts/bench_net.sh [out.json] [clients] [requests]
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_net.json}
+clients=${2:-1000}
+requests=${3:-20000}
+
+bin=$(mktemp -d)
+data=$(mktemp -d)
+mon_pid=
+cleanup() {
+    [ -n "$mon_pid" ] && kill "$mon_pid" 2>/dev/null || true
+    rm -rf "$bin" "$data"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench-net: building ..."
+go build -o "$bin" ./cmd/mirasim ./cmd/miramon ./cmd/miraload
+
+echo "bench-net: simulating a two-week window ..."
+"$bin/mirasim" -start 2014-03-01 -end 2014-03-15 -data "$data/seg" >/dev/null
+
+"$bin/miramon" -serve -listen 127.0.0.1:0 -data "$data/seg" 2>"$data/mon.log" &
+mon_pid=$!
+
+# The server picks an ephemeral port; read it back from the startup log.
+addr=
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/.*telemetry API on //p' "$data/mon.log" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$mon_pid" 2>/dev/null; then
+        echo "bench-net: miramon -serve exited early:" >&2
+        cat "$data/mon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "bench-net: miramon -serve never reported its address" >&2
+    cat "$data/mon.log" >&2
+    exit 1
+fi
+
+"$bin/miraload" -url "http://$addr" -clients "$clients" -requests "$requests" -out "$out"
+
+kill -TERM "$mon_pid"
+wait "$mon_pid" || true
+mon_pid=
+
+echo "bench-net: wrote $out"

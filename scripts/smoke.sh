@@ -12,9 +12,10 @@ cd "$(dirname "$0")/.."
 
 bin=$(mktemp -d)
 data=$(mktemp -d)
-trap 'rm -rf "$bin" "$data"' EXIT
+mon_pid=
+trap '[ -n "$mon_pid" ] && kill "$mon_pid" 2>/dev/null; rm -rf "$bin" "$data"' EXIT
 
-go build -o "$bin" ./cmd/mirasim ./cmd/miraanalyze
+go build -o "$bin" ./cmd/mirasim ./cmd/miraanalyze ./cmd/miramon
 
 "$bin/mirasim" -start 2014-03-05 -end 2014-03-12 \
 	-data "$data/seg" -telemetry "$data/telemetry.csv" >/dev/null
@@ -86,6 +87,66 @@ done
 	exit 1
 }
 
+# Network round trip: serve the warm store over the wire, check the remote
+# figures are byte-identical to the local warm replay, push a fresh day of
+# telemetry into the live server, and verify a SIGTERM shutdown flushes the
+# ingested records to disk before exiting.
+"$bin/miramon" -serve -listen 127.0.0.1:0 -data "$data/seg" 2>"$data/mon.log" &
+mon_pid=$!
+addr=
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/.*telemetry API on //p' "$data/mon.log" | head -n 1)
+	[ -n "$addr" ] && break
+	kill -0 "$mon_pid" 2>/dev/null || {
+		echo "smoke: miramon -serve exited early:" >&2
+		cat "$data/mon.log" >&2
+		exit 1
+	}
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || {
+	echo "smoke: miramon -serve never reported its address" >&2
+	cat "$data/mon.log" >&2
+	exit 1
+}
+
+"$bin/miraanalyze" -remote "http://$addr" >"$data/remote.txt"
+tail -n +2 "$data/remote.txt" >"$data/remote-figs.txt"
+if ! diff -u "$data/warm-figs.txt" "$data/remote-figs.txt"; then
+	echo "smoke: remote figures differ from the local warm replay" >&2
+	exit 1
+fi
+
+"$bin/mirasim" -start 2014-03-12 -end 2014-03-13 -push "http://$addr" >"$data/push.txt"
+grep -q 'telemetry pushed: [1-9][0-9]* records' "$data/push.txt" || {
+	echo "smoke: mirasim -push did not report pushed telemetry:" >&2
+	cat "$data/push.txt" >&2
+	exit 1
+}
+
+kill -TERM "$mon_pid"
+wait "$mon_pid" || {
+	echo "smoke: miramon -serve exited non-zero on SIGTERM:" >&2
+	cat "$data/mon.log" >&2
+	exit 1
+}
+mon_pid=
+grep -q 'shutdown complete' "$data/mon.log" || {
+	echo "smoke: miramon -serve did not log a graceful shutdown:" >&2
+	cat "$data/mon.log" >&2
+	exit 1
+}
+
+before=$(sed -n 's/^warm start: loaded \([0-9][0-9]*\) .*/\1/p' "$data/warm.txt")
+"$bin/miraanalyze" -data "$data/seg" -figure 7 >"$data/after-push.txt"
+after=$(sed -n 's/^warm start: loaded \([0-9][0-9]*\) .*/\1/p' "$data/after-push.txt")
+if [ -z "$before" ] || [ -z "$after" ] || [ "$after" -le "$before" ]; then
+	echo "smoke: graceful shutdown did not persist pushed records ($before -> ${after:-?})" >&2
+	exit 1
+fi
+
 # A corrupted cold segment must be rejected as descriptively as a raw one.
 coldseg=$(find "$data/cold" -name '*.cold.seg' | head -n 1)
 coldsize=$(wc -c <"$coldseg")
@@ -114,4 +175,4 @@ grep -q 'corrupt segment' "$data/corrupt.txt" || {
 	exit 1
 }
 
-echo "smoke: ok (warm figures match the in-memory path; pushdown figures survive retention compaction; corruption rejected)"
+echo "smoke: ok (warm figures match the in-memory path; remote figures match over the wire; push + graceful shutdown persisted; pushdown figures survive retention compaction; corruption rejected)"
