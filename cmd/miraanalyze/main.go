@@ -5,7 +5,8 @@
 //
 //	miraanalyze [-seed N] [-step 15m] [-figure all|2|3|...|15]
 //	            [-from out.csv] [-data dir] [-retention 0] [-scan-workers N]
-//	            [-report report.json] [-log-format text|json]
+//	            [-scan-mode chunked|record] [-report report.json]
+//	            [-log-format text|json]
 //
 // A full run at -step 15m takes under a minute; -step 300s matches the
 // coolant monitor's native cadence and takes a few minutes. -data reopens
@@ -56,22 +57,32 @@ func main() {
 		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 		scanWorkers = flag.Int("scan-workers", 0, "decode workers for parallel store scans on the offline paths (0 = GOMAXPROCS)")
+		scanMode    = flag.String("scan-mode", "chunked", "merged-scan surface for the replay figures: chunked (batch-columnar) or record (record-at-a-time)")
 	)
 	flag.Parse()
 	logg = obs.NewLogger(os.Stderr, *logFormat, "miraanalyze")
 
+	scan := analysis.CollectOptions{Workers: *scanWorkers}
+	switch *scanMode {
+	case "chunked":
+	case "record":
+		scan.ForceRecords = true
+	default:
+		logg.Fatalf("-scan-mode %q: want chunked or record", *scanMode)
+	}
+
 	if *remote != "" {
-		analyzeRemote(*remote, *scanWorkers, *figure)
+		analyzeRemote(*remote, scan, *figure)
 		writeReport(*reportPath)
 		return
 	}
 	if *dataDir != "" {
-		analyzeData(*dataDir, *seed, *step, *retention, *scanWorkers, *figure)
+		analyzeData(*dataDir, *seed, *step, *retention, scan, *figure)
 		writeReport(*reportPath)
 		return
 	}
 	if *fromCSV != "" {
-		analyzeOffline(*fromCSV, *scanWorkers, *figure)
+		analyzeOffline(*fromCSV, scan, *figure)
 		writeReport(*reportPath)
 		return
 	}
@@ -174,7 +185,7 @@ func printEfficiency(s *mira.Study) {
 // -retention, the store is compacted on disk before analysis: the Fig. 7/9
 // pushdown aggregates across raw and downsampled tiers exactly, while the
 // replay figures cover the retained hot window.
-func analyzeData(dir string, seed int64, step, retention time.Duration, scanWorkers int, figure string) {
+func analyzeData(dir string, seed int64, step, retention time.Duration, scan analysis.CollectOptions, figure string) {
 	db, err := tsdb.Open(dir, tsdb.Options{Retention: retention})
 	switch {
 	case err == nil:
@@ -214,7 +225,7 @@ func analyzeData(dir string, seed int64, step, retention time.Duration, scanWork
 		}
 	}
 	fmt.Println()
-	analyzeStore(db, scanWorkers, figure)
+	analyzeStore(db, scan, figure)
 }
 
 // analyzeRemote regenerates the coolant/ambient figures from a live
@@ -223,7 +234,7 @@ func analyzeData(dir string, seed int64, step, retention time.Duration, scanWork
 // and the Fig. 7/9 aggregation pushdown runs server-side with results
 // carried as raw float64 bits — so the figures diff clean against an
 // in-process run over the same store.
-func analyzeRemote(url string, scanWorkers int, figure string) {
+func analyzeRemote(url string, scan analysis.CollectOptions, figure string) {
 	client := telemetrynet.NewClient(url, telemetrynet.ClientOptions{})
 	info, err := client.Info()
 	if err != nil {
@@ -236,12 +247,12 @@ func analyzeRemote(url string, scanWorkers int, figure string) {
 	last := time.Unix(0, info.LastUnixNano).In(first.Location())
 	fmt.Printf("remote store at %s: %d records, %s .. %s\n\n",
 		url, info.Records, first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
-	analyzeStore(client, scanWorkers, figure)
+	analyzeStore(client, scan, figure)
 }
 
 // analyzeOffline regenerates the coolant/ambient figures from an exported
 // telemetry CSV (see cmd/mirasim -telemetry).
-func analyzeOffline(path string, scanWorkers int, figure string) {
+func analyzeOffline(path string, scan analysis.CollectOptions, figure string) {
 	f, err := os.Open(path)
 	if err != nil {
 		logg.Fatalf("%v", err)
@@ -256,17 +267,17 @@ func analyzeOffline(path string, scanWorkers int, figure string) {
 	st := db.Stats()
 	fmt.Printf("loaded %d telemetry records from %s (%.1f MiB compressed, %.2f B/sample)\n\n",
 		db.Len(), path, float64(st.SealedBytes)/(1<<20), st.BytesPerSample)
-	analyzeStore(db, scanWorkers, figure)
+	analyzeStore(db, scan, figure)
 }
 
 // analyzeStore prints the offline figures (3/7/8/9) from a telemetry
 // database, however it is reached (CSV import, warm segment open, a fresh
 // simulation, or a remote server through the telemetrynet client). The
-// replay streams the database's merged scan through the collector on
-// scanWorkers decode goroutines; when only Figs. 7/9 are requested and the
+// replay streams the database's merged scan through the collector per the
+// scan options (worker count and surface); when only Figs. 7/9 are requested and the
 // database can push down, per-rack means come straight from compressed
 // columns via aggregation pushdown and the replay is skipped entirely.
-func analyzeStore(db envdb.DB, scanWorkers int, figure string) {
+func analyzeStore(db envdb.DB, scan analysis.CollectOptions, figure string) {
 	want := func(f string) bool { return figure == "all" || figure == f }
 	if !want("3") && !want("7") && !want("8") && !want("9") {
 		fmt.Printf("figure %s needs utilization or incident data; offline stores carry figures 3, 7, 8, and 9\n", figure)
@@ -294,7 +305,7 @@ func analyzeStore(db envdb.DB, scanWorkers int, figure string) {
 		return
 	}
 
-	c := analysis.CollectFromStoreParallel(db, scanWorkers)
+	c := analysis.CollectFromStoreOpts(db, scan)
 
 	if want("3") {
 		fig3 := c.Fig3CoolantTimeline()

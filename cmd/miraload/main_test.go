@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+// TestPercentile pins the nearest-rank estimator the latency summary is
+// built on: rank = round(q*n), clamped to the sample range. The snapshot
+// schema (BENCH_net.json) is compared across runs, so the estimator's
+// behavior at small n and exact rank boundaries must not drift.
+func TestPercentile(t *testing.T) {
+	seq := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1) // sorted 1..n, so value == 1-based rank
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.99, 0},
+		{"single_p50", seq(1), 0.50, 1},
+		{"single_p99", seq(1), 0.99, 1},
+		// n=2: the median rounds down to the first sample, the tail
+		// percentile reaches the second.
+		{"pair_p50", seq(2), 0.50, 1},
+		{"pair_p95", seq(2), 0.95, 2},
+		{"pair_p99", seq(2), 0.99, 2},
+		// Exact boundary counts: with n=100, q*n lands on an integer rank
+		// and must select exactly that sample — no off-by-one into the
+		// neighbor.
+		{"hundred_p50", seq(100), 0.50, 50},
+		{"hundred_p95", seq(100), 0.95, 95},
+		{"hundred_p99", seq(100), 0.99, 99},
+		{"hundred_p100", seq(100), 1.00, 100},
+		// Fractional rank rounds to nearest: 0.995*200 = 199.
+		{"twohundred_p995", seq(200), 0.995, 199},
+		// q=0 clamps to the first sample rather than indexing before it.
+		{"hundred_p0", seq(100), 0, 1},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: percentile(n=%d, q=%g) = %g, want %g",
+				tc.name, len(tc.sorted), tc.q, got, tc.want)
+		}
+	}
+}

@@ -7,7 +7,8 @@
 //
 //	miramon [-seed N] [-train-days 120] [-watch-days 45] [-data dir]
 //	        [-retention 0] [-compact-interval 1h] [-listen :8080] [-serve]
-//	        [-audit-interval 1m] [-report report.json] [-log-format text|json]
+//	        [-audit-interval 1m] [-scan-mode chunked|record]
+//	        [-report report.json] [-log-format text|json]
 //
 // With -data, a cold run persists the watched telemetry to segment files;
 // a warm run (segments already present) skips the simulation and instead
@@ -139,9 +140,19 @@ func main() {
 		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 		scanWorkers = flag.Int("scan-workers", 0, "decode workers for parallel store scans (0 = GOMAXPROCS)")
+		scanMode    = flag.String("scan-mode", "chunked", "merged-scan surface for the analysis summary: chunked (batch-columnar) or record (record-at-a-time)")
 	)
 	flag.Parse()
 	logg := obs.NewLogger(os.Stderr, *logFormat, "miramon")
+
+	scan := analysis.CollectOptions{Workers: *scanWorkers}
+	switch *scanMode {
+	case "chunked":
+	case "record":
+		scan.ForceRecords = true
+	default:
+		logg.Fatalf("-scan-mode %q: want chunked or record", *scanMode)
+	}
 
 	if *serve && (*listen == "" || *dataDir == "") {
 		logg.Fatalf("-serve requires both -listen and -data")
@@ -208,7 +219,7 @@ func main() {
 		case err == nil:
 			db.ExposeGauges(nil)
 			compactOnce(db, *dataDir, *retention, logg)
-			aud := replayAudit(db, *dataDir, *scanWorkers, logg)
+			aud := replayAudit(db, *dataDir, scan, logg)
 			startCompactor(db, *dataDir, *retention, *compactEach, *listen, logg)
 			if *listen != "" {
 				aud.startLoop(*auditEach, logg)
@@ -290,7 +301,7 @@ func main() {
 		fmt.Printf("  wk %s  %6.2f / %6.2f / %6.2f\n", agg.Start.Format("2006-01-02"), agg.Min, agg.Mean(), agg.Max)
 	}
 
-	summarizeAnalysis(db, *scanWorkers)
+	summarizeAnalysis(db, scan)
 
 	if *dataDir != "" {
 		if err := db.Flush(*dataDir); err != nil {
@@ -480,8 +491,8 @@ func finish(logg *obs.Logger, srv *obs.HTTPServer, db *tsdb.Store, dataDir strin
 // summarizeAnalysis runs the rack-level coolant and ambient figures over
 // the store so the analysis-layer metrics (figure durations) are populated
 // alongside tsdb and sim series on /metrics and in the RunReport.
-func summarizeAnalysis(db *tsdb.Store, workers int) {
-	c := analysis.CollectFromStoreParallel(db, workers)
+func summarizeAnalysis(db *tsdb.Store, scan analysis.CollectOptions) {
+	c := analysis.CollectFromStoreOpts(db, scan)
 	fig7 := c.Fig7RackCoolant()
 	fig9 := c.Fig9RackAmbient()
 	fmt.Printf("\nrack spreads over the watch window: flow %.1f%%, inlet %.1f%%, outlet %.1f%%; most humid rack %v\n",
@@ -493,7 +504,7 @@ func summarizeAnalysis(db *tsdb.Store, workers int) {
 // the aggregation pushdown summary over the persisted telemetry. The
 // returned auditor's watermarks sit at the end of the store, so a
 // subsequent audit loop re-checks only newly appended records.
-func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) *auditor {
+func replayAudit(db *tsdb.Store, dir string, scan analysis.CollectOptions, logg *obs.Logger) *auditor {
 	first, last, ok := db.Bounds()
 	if !ok {
 		logg.Fatalf("store under %s is empty", dir)
@@ -506,7 +517,7 @@ func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) *aud
 	// The merged scan behind the auditor decodes shards in parallel and —
 	// unlike EachRecord — returns decode failures instead of panicking,
 	// which suits a replay over disk-loaded segments.
-	aud := newAuditor(db, workers)
+	aud := newAuditor(db, scan.Workers)
 	_, warnings, coldWindows, err := aud.runOnce()
 	if err != nil {
 		logg.Fatalf("scan: %v", err)
@@ -530,7 +541,7 @@ func replayAudit(db *tsdb.Store, dir string, workers int, logg *obs.Logger) *aud
 		fmt.Printf("  wk %s  %6.2f / %6.2f / %6.2f\n", agg.Start.Format("2006-01-02"), agg.Min, agg.Mean(), agg.Max)
 	}
 
-	summarizeAnalysis(db, workers)
+	summarizeAnalysis(db, scan)
 	return aud
 }
 

@@ -25,29 +25,52 @@ func CollectFromStore(db envdb.DB) *Collector {
 	return CollectFromStoreParallel(db, 0)
 }
 
-// CollectFromStoreParallel replays db through a Collector using `workers`
-// shard-decode goroutines when the store supports merged scans (<= 0
-// selects GOMAXPROCS). The replay itself is a streaming run-length pass
-// over the time-ordered merge: peak buffering is one tick — at most one
-// record per rack — regardless of trace length. Stores without the
-// ShardScanner capability fall back to the buffering replay (O(trace)
-// memory).
-//
-// Stores with a downsampled cold tier (envdb.TierScanner) replay the hot
-// window only: a cold window's mean record is not a sample, so feeding it
-// to the tick/incident pipeline would fabricate ticks. Replay figures
-// therefore cover the retained full-rate range, while the Fig. 7/9
-// pushdown figures aggregate across both tiers exactly.
+// CollectOptions configures an offline replay.
+type CollectOptions struct {
+	// Workers bounds the scan's shard-decode pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ForceRecords replays through the record-at-a-time merge surface even
+	// when the store supports batch-columnar scans — the comparison
+	// baseline for verifying that the chunked default produces identical
+	// figures (scripts/smoke.sh diffs the two).
+	ForceRecords bool
+}
+
+// CollectFromStoreParallel is CollectFromStoreOpts with only the worker
+// count set — the chunked scan path when the store supports it.
 func CollectFromStoreParallel(db envdb.DB, workers int) *Collector {
+	return CollectFromStoreOpts(db, CollectOptions{Workers: workers})
+}
+
+// CollectFromStoreOpts replays db through a Collector. The replay is a
+// streaming run-length pass over the time-ordered merge: peak buffering is
+// one tick — at most one record per rack — regardless of trace length.
+// Stores exposing the batch-columnar surface (envdb.ChunkScanner) replay
+// chunk-at-a-time, materializing records only inside the tick grouping
+// loop; plain ShardScanner stores replay record-at-a-time; stores with
+// neither capability fall back to the buffering replay (O(trace) memory).
+// Both scan surfaces decode the same stored bytes, so the figures are
+// bit-identical across all paths.
+//
+// Stores with a downsampled cold tier replay the hot window only: a cold
+// window's mean record is not a sample, so feeding it to the tick/incident
+// pipeline would fabricate ticks. Replay figures therefore cover the
+// retained full-rate range, while the Fig. 7/9 pushdown figures aggregate
+// across both tiers exactly.
+func CollectFromStoreOpts(db envdb.DB, opts CollectOptions) *Collector {
 	defer timed("collect_from_store")()
 	_, span := obs.Span(context.Background(), "analysis.collect")
 	defer span.End()
 	c := NewCollector()
-	if ss, ok := db.(envdb.ShardScanner); ok {
-		if _, err := replayMerged(ss, workers, c); err != nil {
-			// The replay surface is error-free; a merged-scan failure means
-			// in-process corruption — the same invariant the tsdb query
-			// surface treats as panic-worthy.
+	// The replay surfaces are error-free; a merged-scan failure means
+	// in-process corruption — the same invariant the tsdb query surface
+	// treats as panic-worthy.
+	if cs, ok := db.(envdb.ChunkScanner); ok && !opts.ForceRecords {
+		if _, err := replayChunked(cs, opts.Workers, c); err != nil {
+			panic(err)
+		}
+	} else if ss, ok := db.(envdb.ShardScanner); ok {
+		if _, err := replayMerged(ss, opts.Workers, c); err != nil {
 			panic(err)
 		}
 	} else {
@@ -57,41 +80,63 @@ func CollectFromStoreParallel(db envdb.DB, workers int) *Collector {
 	return c
 }
 
-// replayMerged streams a merged (global time order, rack-ascending within
-// an instant) scan through the collector, grouping consecutive equal
-// timestamps into ticks. It returns the peak tick-buffer length so tests
-// can pin the O(racks) memory bound.
+// tickAccum groups a time-ordered record stream into monitor ticks and
+// feeds them to the collector; shared by the record-at-a-time and chunked
+// replays so both produce identical figures by construction.
 //
-// Grouping keys are UnixNano, not time.Time: == on time.Time compares
-// wall clock and location too, so identical instants from different
-// sources (Chicago-simulated vs UTC CSV-reimported telemetry) would split
-// into separate ticks and corrupt the reconstructed system power.
-func replayMerged(ss envdb.ShardScanner, workers int, c *Collector) (maxTick int, err error) {
-	tick := make([]sensors.Record, 0, topology.NumRacks)
-	flush := func() {
-		if len(tick) == 0 {
-			return
-		}
-		var totalPower units.Watts
-		for _, r := range tick {
-			totalPower += r.Power
-		}
-		c.OnTick(tick[0].Time, totalPower, nanUtil)
-		for _, r := range tick {
-			c.OnSample(r)
-		}
-		if len(tick) > maxTick {
-			maxTick = len(tick)
-		}
-		tick = tick[:0]
+// Grouping keys are unix nanoseconds, not time.Time: == on time.Time
+// compares wall clock and location too, so identical instants from
+// different sources (Chicago-simulated vs UTC CSV-reimported telemetry)
+// would split into separate ticks and corrupt the reconstructed system
+// power.
+type tickAccum struct {
+	c       *Collector
+	tick    []sensors.Record
+	curN    int64
+	maxTick int
+}
+
+func newTickAccum(c *Collector) *tickAccum {
+	return &tickAccum{c: c, tick: make([]sensors.Record, 0, topology.NumRacks)}
+}
+
+// visit appends one record of instant k; a new instant flushes the
+// previous tick first.
+func (a *tickAccum) visit(k int64, r sensors.Record) {
+	if len(a.tick) != 0 && k != a.curN {
+		a.flush()
 	}
-	var curN int64
+	a.curN = k
+	a.tick = append(a.tick, r)
+}
+
+// flush replays the buffered tick: system power is reconstructed as the
+// sum of rack powers at the instant.
+func (a *tickAccum) flush() {
+	if len(a.tick) == 0 {
+		return
+	}
+	var totalPower units.Watts
+	for _, r := range a.tick {
+		totalPower += r.Power
+	}
+	a.c.OnTick(a.tick[0].Time, totalPower, nanUtil)
+	for _, r := range a.tick {
+		a.c.OnSample(r)
+	}
+	if len(a.tick) > a.maxTick {
+		a.maxTick = len(a.tick)
+	}
+	a.tick = a.tick[:0]
+}
+
+// replayMerged streams a merged (global time order, rack-ascending within
+// an instant) record-at-a-time scan through the collector. It returns the
+// peak tick-buffer length so tests can pin the O(racks) memory bound.
+func replayMerged(ss envdb.ShardScanner, workers int, c *Collector) (maxTick int, err error) {
+	acc := newTickAccum(c)
 	visit := func(r sensors.Record) bool {
-		if k := r.Time.UnixNano(); len(tick) == 0 || k != curN {
-			flush()
-			curN = k
-		}
-		tick = append(tick, r)
+		acc.visit(r.Time.UnixNano(), r)
 		return true
 	}
 	if ts, ok := ss.(envdb.TierScanner); ok {
@@ -107,10 +152,35 @@ func replayMerged(ss envdb.ShardScanner, workers int, c *Collector) (maxTick int
 		err = ss.EachRecordMerged(workers, visit)
 	}
 	if err != nil {
-		return maxTick, err
+		return acc.maxTick, err
 	}
-	flush()
-	return maxTick, nil
+	acc.flush()
+	return acc.maxTick, nil
+}
+
+// replayChunked is replayMerged over the batch-columnar scan surface: tick
+// boundaries are found on the raw int64 timestamp column and records are
+// materialized only as they enter the tick buffer. Chunks carry the tier
+// column, so cold-tier rows are skipped without a separate capability
+// probe. Chunk.Record materializes from the same decoded columns the
+// record surface reads, so the resulting figures are bit-identical to the
+// record-at-a-time replay.
+func replayChunked(cs envdb.ChunkScanner, workers int, c *Collector) (maxTick int, err error) {
+	acc := newTickAccum(c)
+	err = cs.EachChunkMerged(workers, func(ch *envdb.Chunk) bool {
+		for i, k := range ch.Times {
+			if ch.Tiers[i] != envdb.TierRaw {
+				continue
+			}
+			acc.visit(k, ch.Record(i))
+		}
+		return true
+	})
+	if err != nil {
+		return acc.maxTick, err
+	}
+	acc.flush()
+	return acc.maxTick, nil
 }
 
 // replayGrouped is the fallback for stores without merged scans: buffer

@@ -117,6 +117,45 @@ func TestReplayMergedBoundedMemory(t *testing.T) {
 	}
 }
 
+// TestReplayChunkedMatchesRecords pins the tentpole's correctness bar: the
+// batch-columnar replay (the default) and the record-at-a-time replay
+// (ForceRecords) must produce figures that are bit-identical — not merely
+// close — because both materialize records from the same decoded columns
+// in the same visit order.
+func TestReplayChunkedMatchesRecords(t *testing.T) {
+	db := multiDayStore(t, 2)
+	chunked := CollectFromStoreOpts(db, CollectOptions{Workers: 3})
+	records := CollectFromStoreOpts(db, CollectOptions{Workers: 3, ForceRecords: true})
+
+	if got, want := fmt.Sprintf("%+v", chunked.Fig3CoolantTimeline()), fmt.Sprintf("%+v", records.Fig3CoolantTimeline()); got != want {
+		t.Errorf("Fig3 differs:\n chunked %s\n records %s", got, want)
+	}
+	if got, want := chunked.Fig7RackCoolant(), records.Fig7RackCoolant(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig7 differs:\n chunked %+v\n records %+v", got, want)
+	}
+	if got, want := fmt.Sprintf("%+v", chunked.Fig8AmbientTimeline()), fmt.Sprintf("%+v", records.Fig8AmbientTimeline()); got != want {
+		t.Errorf("Fig8 differs:\n chunked %s\n records %s", got, want)
+	}
+	if got, want := chunked.Fig9RackAmbient(), records.Fig9RackAmbient(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig9 differs:\n chunked %+v\n records %+v", got, want)
+	}
+}
+
+// TestReplayChunkedBoundedMemory: the chunked replay's tick buffer stays
+// one record per rack even though the scan hands over multi-tick chunks.
+func TestReplayChunkedBoundedMemory(t *testing.T) {
+	db := multiDayStore(t, 2)
+	c := NewCollector()
+	maxTick, err := replayChunked(db, 4, c)
+	if err != nil {
+		t.Fatalf("replayChunked: %v", err)
+	}
+	c.Finalize()
+	if maxTick != topology.NumRacks {
+		t.Fatalf("peak tick buffer = %d records, want %d (one per rack)", maxTick, topology.NumRacks)
+	}
+}
+
 // noShardScan hides the ShardScanner capability so CollectFromStore takes
 // the buffering fallback path.
 type noShardScan struct{ envdb.DB }

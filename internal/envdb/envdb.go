@@ -89,6 +89,57 @@ type TierScanner interface {
 	EachRecordMergedTier(workers int, f func(sensors.Record, Tier) bool) error
 }
 
+// Chunk is one batch of a chunked merged scan: parallel columns holding up
+// to a few thousand consecutive rows of the global (timestamp, rack) order.
+// Columnar delivery amortizes the per-record callback and materialization
+// cost of EachRecordMerged away — consumers read the columns they need and
+// call Record only for rows they must materialize.
+//
+// A Chunk passed to an EachChunkMerged callback is only valid for the
+// duration of the call: the scanner reuses its backing arrays for the next
+// chunk. Consumers that need rows afterwards must copy them out.
+type Chunk struct {
+	// Loc is the records' location, shared by every row.
+	Loc *time.Location
+	// Times holds unix-nanosecond timestamps, non-decreasing.
+	Times []int64
+	// Racks holds the rack index of each row; within equal timestamps rows
+	// are ordered by ascending rack index.
+	Racks []uint8
+	// Tiers holds each row's storage tier.
+	Tiers []Tier
+	// Cols holds one value column per metric, indexed by sensors.Metric.
+	Cols [sensors.NumMetrics][]float64
+}
+
+// Len returns the number of rows in the chunk.
+func (c *Chunk) Len() int { return len(c.Times) }
+
+// Record materializes row i. The result is bit-identical to what the
+// record-at-a-time scan surfaces for the same stored row.
+func (c *Chunk) Record(i int) sensors.Record {
+	return sensors.Record{
+		Time:          time.Unix(0, c.Times[i]).In(c.Loc),
+		Rack:          topology.RackByIndex(int(c.Racks[i])),
+		DCTemperature: units.Fahrenheit(c.Cols[sensors.MetricDCTemperature][i]),
+		DCHumidity:    units.RelativeHumidity(c.Cols[sensors.MetricDCHumidity][i]),
+		Flow:          units.GPM(c.Cols[sensors.MetricFlow][i]),
+		InletTemp:     units.Fahrenheit(c.Cols[sensors.MetricInletTemp][i]),
+		OutletTemp:    units.Fahrenheit(c.Cols[sensors.MetricOutletTemp][i]),
+		Power:         units.Watts(c.Cols[sensors.MetricPower][i]),
+	}
+}
+
+// ChunkScanner is an optional capability of ShardScanner implementations
+// with a batch-columnar scan path: the same global (timestamp, rack) order
+// as EachRecordMerged, delivered as columnar chunks instead of one record
+// per callback. The scan stops early when f returns false; failures come
+// back as errors. Consumers should type-assert for this capability and
+// fall back to the record surfaces when it is absent.
+type ChunkScanner interface {
+	EachChunkMerged(workers int, f func(*Chunk) bool) error
+}
+
 // WindowAgg is one aggregation window of an Aggregator pushdown query.
 type WindowAgg struct {
 	// Start is the window's inclusive start; the window spans one Aggregate

@@ -2,6 +2,7 @@ package telemetrynet
 
 import (
 	"bytes"
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/json"
@@ -38,6 +39,12 @@ type ClientOptions struct {
 	// ClientID overrides the random ingest identity. Two clients must not
 	// share an ID: the server's dedup watermark is per-ID.
 	ClientID uint64
+	// Context bounds every push: canceling it aborts in-flight requests
+	// AND the backoff waits between retries, so Append/Flush return
+	// promptly with an error wrapping the context's error instead of
+	// sleeping out the remaining retry schedule against a dead server.
+	// Defaults to context.Background (pushes never canceled).
+	Context context.Context
 }
 
 // ClientStats counts what a client pushed over its lifetime.
@@ -73,6 +80,7 @@ type Client struct {
 	batch   int
 	retries int
 	id      uint64
+	ctx     context.Context
 
 	mu    sync.Mutex
 	buf   []sensors.Record
@@ -109,12 +117,16 @@ func NewClient(baseURL string, opts ClientOptions) *Client {
 			opts.ClientID = uint64(time.Now().UnixNano()) | 1
 		}
 	}
+	if opts.Context == nil {
+		opts.Context = context.Background()
+	}
 	return &Client{
 		base:    strings.TrimRight(baseURL, "/"),
 		hc:      opts.HTTPClient,
 		batch:   opts.BatchSize,
 		retries: opts.Retries,
 		id:      opts.ClientID,
+		ctx:     opts.Context,
 	}
 }
 
@@ -162,10 +174,31 @@ func (c *Client) flushLocked() error {
 		if attempt > 0 {
 			c.stats.Retries++
 			metClientRetries.Inc()
-			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+			// The backoff wait races the client context: a canceled push
+			// must not sleep out the remaining retry schedule against a
+			// server that is already known to be down.
+			timer := time.NewTimer(retryBackoff(attempt, c.id, c.seq))
+			select {
+			case <-c.ctx.Done():
+				timer.Stop()
+				metClientErrors.Inc()
+				return fmt.Errorf("telemetrynet: push canceled on attempt %d: %w (last error: %v)",
+					attempt, c.ctx.Err(), lastErr)
+			case <-timer.C:
+			}
 		}
-		resp, err := c.hc.Post(c.base+"/v1/ingest", "application/octet-stream", bytes.NewReader(frame))
+		req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.base+"/v1/ingest", bytes.NewReader(frame))
 		if err != nil {
+			metClientErrors.Inc()
+			return fmt.Errorf("telemetrynet: push: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if c.ctx.Err() != nil {
+				metClientErrors.Inc()
+				return fmt.Errorf("telemetrynet: push canceled on attempt %d: %w", attempt+1, err)
+			}
 			lastErr = err
 			continue
 		}
@@ -191,6 +224,22 @@ func (c *Client) flushLocked() error {
 	}
 	metClientErrors.Inc()
 	return fmt.Errorf("telemetrynet: push failed after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// retryBackoff is the wait before retry `attempt` (1-based): linear 50 ms
+// steps plus up to 25 ms of deterministic jitter mixed from the client
+// identity, the batch sequence, and the attempt counter. The jitter
+// decorrelates the retry schedules of many clients whose pushes failed at
+// the same instant (a restarting server would otherwise see them all
+// again simultaneously, every 50 ms); deriving it from counters instead
+// of a RNG keeps the schedule reproducible for a given client and batch.
+func retryBackoff(attempt int, id, seq uint64) time.Duration {
+	h := id ^ seq*0x9E3779B97F4A7C15 ^ uint64(attempt)*0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	jitter := time.Duration(h % uint64(25*time.Millisecond))
+	return time.Duration(attempt)*50*time.Millisecond + jitter
 }
 
 // httpError carries the status code so capability fallbacks can detect

@@ -2,6 +2,8 @@ package telemetrynet
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -87,6 +89,60 @@ func TestClientTransportExhaustion(t *testing.T) {
 	}
 	if n := atomic.LoadInt32(&calls); n != 3 {
 		t.Fatalf("made %d attempts, want 3", n)
+	}
+}
+
+// TestClientCancelDuringRetryBackoff: canceling the client context while
+// the push is waiting out a retry backoff against a down server must
+// return promptly with the context error — not sleep through the rest of
+// the retry schedule (the old bare time.Sleep held Append/Flush, and the
+// mutex under them, for the full schedule after cancellation).
+func TestClientCancelDuringRetryBackoff(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	// 40 retries at 50ms+ linear steps is a multi-second schedule; the
+	// canceled flush must not come anywhere near it.
+	client := NewClient(ts.URL, ClientOptions{Retries: 40, Context: ctx})
+	fillStore(t, client, netTrace(1))
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := client.Flush()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("flush succeeded against a down server")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("flush err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("canceled flush took %v; the backoff did not observe the context", elapsed)
+	}
+	if n := atomic.LoadInt32(&calls); n >= 40 {
+		t.Fatalf("made %d attempts after cancel, want an early abort", n)
+	}
+}
+
+// TestRetryBackoffJitter: the backoff grows with the attempt counter and
+// carries per-client, per-batch jitter so simultaneous failures don't
+// retry in lockstep.
+func TestRetryBackoffJitter(t *testing.T) {
+	for attempt := 1; attempt <= 4; attempt++ {
+		base := time.Duration(attempt) * 50 * time.Millisecond
+		d := retryBackoff(attempt, 7, 3)
+		if d < base || d >= base+25*time.Millisecond {
+			t.Fatalf("retryBackoff(%d) = %v, want in [%v, %v)", attempt, d, base, base+25*time.Millisecond)
+		}
+	}
+	if retryBackoff(1, 1, 1) == retryBackoff(1, 2, 1) && retryBackoff(2, 1, 1) == retryBackoff(2, 2, 1) {
+		t.Fatal("backoff jitter identical across client identities")
 	}
 }
 

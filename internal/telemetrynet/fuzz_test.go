@@ -2,6 +2,7 @@ package telemetrynet
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"testing"
@@ -31,6 +32,26 @@ func FuzzDecodeIngestFrame(f *testing.F) {
 	}
 	cw.close()
 	f.Add(chunked.Bytes())
+
+	// Overflow-adjacent headers: counts at and beyond every cap, including a
+	// count whose count*recordSize product wraps 32-bit arithmetic to a
+	// small, internally consistent payload length. frameLen must reject all
+	// of these on the count itself, before any length math can wrap.
+	hugeCount := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(hugeCount[24:], 0xFFFFFFFF)
+	f.Add(hugeCount)
+	wrapped := append([]byte(nil), valid...)
+	c := uint32(0xFFFFFFFF)
+	binary.LittleEndian.PutUint32(wrapped[24:], c)
+	binary.LittleEndian.PutUint32(wrapped[4:], c*uint32(recordSize)) // 32-bit wrapped product
+	f.Add(wrapped)
+	offByOne := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(offByOne[24:], maxFrameRecords+1)
+	binary.LittleEndian.PutUint32(offByOne[4:], (maxFrameRecords+1)*uint32(recordSize))
+	f.Add(offByOne)
+	hugeChunk := append([]byte(nil), chunked.Bytes()[:12]...)
+	hugeChunk = binary.LittleEndian.AppendUint32(hugeChunk, 0xFFFFFFFF)
+	f.Add(hugeChunk)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

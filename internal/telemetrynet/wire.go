@@ -70,6 +70,23 @@ func frameErr(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrFrame, fmt.Sprintf(format, args...))
 }
 
+// frameLen converts a wire-supplied element count into the byte length
+// count*size+extra. The cap check happens here, before the multiply, and
+// the arithmetic is 64-bit throughout, so a hostile count near 2^32 can
+// never wrap a length computation — the invariant holds even if a caller's
+// own bounds check is later reordered or relaxed. Every decoder that sizes
+// a read from a wire count goes through this.
+func frameLen(kind string, count uint32, size, extra int, maxElems uint32) (int, error) {
+	if count > maxElems {
+		return 0, frameErr("%s count %d exceeds %d", kind, count, maxElems)
+	}
+	n := int64(count)*int64(size) + int64(extra)
+	if n > math.MaxInt32 {
+		return 0, frameErr("%s length %d overflows frame bounds", kind, n)
+	}
+	return int(n), nil
+}
+
 // readBody reads exactly need bytes, growing the buffer in 1 MiB steps so
 // a hostile header declaring a huge length cannot demand the allocation up
 // front — memory grows only as fast as bytes actually arrive.
@@ -198,10 +215,14 @@ func decodeIngestFrame(r io.Reader) (ingestFrame, error) {
 	if count == 0 || count > maxFrameRecords {
 		return ingestFrame{}, frameErr("record count %d out of range [1, %d]", count, maxFrameRecords)
 	}
-	if payloadLen != count*uint32(recordSize) {
+	need, err := frameLen("record", count, recordSize, 4, maxFrameRecords)
+	if err != nil {
+		return ingestFrame{}, err
+	}
+	if int64(payloadLen) != int64(need)-4 {
 		return ingestFrame{}, frameErr("payload length %d does not match %d records", payloadLen, count)
 	}
-	body, err := readBody(r, int(payloadLen)+4)
+	body, err := readBody(r, need)
 	if err != nil {
 		return ingestFrame{}, frameErr("reading %d-byte payload: %v", payloadLen, err)
 	}
@@ -326,10 +347,10 @@ func readChunkStream(r io.Reader, f func(rec sensors.Record, tier byte) bool) er
 			return frameErr("reading chunk count: %v", err)
 		}
 		count := binary.LittleEndian.Uint32(cntBuf[:])
-		if count > maxChunkRecords {
-			return frameErr("chunk count %d exceeds %d", count, maxChunkRecords)
+		need, err := frameLen("chunk", count, size, 4, maxChunkRecords)
+		if err != nil {
+			return err
 		}
-		need := int(count)*size + 4
 		if cap(chunk) < need {
 			chunk = make([]byte, need)
 		}
@@ -388,10 +409,11 @@ func decodeSeries(r io.Reader) ([]time.Time, []float64, error) {
 	}
 	loc := zoneLocation(int32(binary.LittleEndian.Uint32(hdr[4:])))
 	count := binary.LittleEndian.Uint32(hdr[8:])
-	if count > maxSeriesPoints {
-		return nil, nil, frameErr("series count %d exceeds %d", count, maxSeriesPoints)
+	need, err := frameLen("series", count, 16, 4, maxSeriesPoints)
+	if err != nil {
+		return nil, nil, err
 	}
-	body, err := readBody(r, int(count)*16+4)
+	body, err := readBody(r, need)
 	if err != nil {
 		return nil, nil, frameErr("reading %d-point series: %v", count, err)
 	}
@@ -451,10 +473,11 @@ func decodeAggs(r io.Reader) ([]windowAgg, *time.Location, error) {
 	}
 	loc := zoneLocation(int32(binary.LittleEndian.Uint32(hdr[4:])))
 	count := binary.LittleEndian.Uint32(hdr[8:])
-	if count > maxAggWindows {
-		return nil, nil, frameErr("aggregate count %d exceeds %d", count, maxAggWindows)
+	need, err := frameLen("aggregate", count, aggEntrySize, 4, maxAggWindows)
+	if err != nil {
+		return nil, nil, err
 	}
-	body, err := readBody(r, int(count)*aggEntrySize+4)
+	body, err := readBody(r, need)
 	if err != nil {
 		return nil, nil, frameErr("reading %d-window aggregate: %v", count, err)
 	}

@@ -167,9 +167,32 @@ func benchStoreAllRacks(b *testing.B, days int) *Store {
 	return s
 }
 
-// BenchmarkEachRecord is the serial full-trace replay baseline: rack-major
-// order, one shard at a time.
+// BenchmarkEachRecord is the full-trace replay benchmark on the batch-
+// columnar path: the chunked merged scan in global (timestamp, rack) order
+// with a single decode worker pipelined against the merge loop — the shape
+// offline replay uses. Compare against BenchmarkEachRecordSerial (rack-
+// major, no merge) and BenchmarkEachRecordParallel (record-at-a-time
+// merge) for the chunked-vs-record contrast bench.sh records.
 func BenchmarkEachRecord(b *testing.B) {
+	s := benchStoreAllRacks(b, 7)
+	want := s.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := s.EachChunkMerged(1, func(c *envdb.Chunk) bool { n += c.Len(); return true }); err != nil {
+			b.Fatal(err)
+		}
+		if n != want {
+			b.Fatalf("visited %d, want %d", n, want)
+		}
+	}
+	b.ReportMetric(float64(want), "records/op")
+}
+
+// BenchmarkEachRecordSerial is the serial full-trace replay baseline:
+// rack-major order, one shard at a time, records materialized one by one.
+func BenchmarkEachRecordSerial(b *testing.B) {
 	s := benchStoreAllRacks(b, 7)
 	want := s.Len()
 	b.ResetTimer()

@@ -12,6 +12,12 @@ import (
 const (
 	encInt byte = iota + 1 // zigzag-varbit deltas of decimal-quantized integers
 	encXOR                 // Gorilla XOR of raw float64 bits
+	// encIntPacked stores the same quantized-integer deltas as encInt in
+	// frame-of-reference width groups (see encodeIntsPacked) — the form new
+	// blocks seal to, since fixed-width groups decode several times faster
+	// than prefix codes. encInt stays decodable for blocks loaded from
+	// pre-existing segments.
+	encIntPacked
 )
 
 // maxQuantized bounds quantized magnitudes to the float64-exact integer
@@ -25,6 +31,35 @@ type channelData struct {
 	data  []byte
 }
 
+// ZoneMap is the value range of one channel inside a sealed block — the
+// pruning index of the columnar scan path: a block whose zones cannot
+// satisfy a scan predicate is skipped without decoding a single payload
+// byte. NaN bounds mark an unusable zone (the channel holds NaN values, so
+// the range proves nothing); unusable zones never prune.
+type ZoneMap struct {
+	Min, Max float64
+}
+
+// usable reports whether the zone can prune; false for NaN bounds.
+func (z ZoneMap) usable() bool { return z.Min <= z.Max }
+
+// computeZone scans one non-empty value column for its zone map.
+func computeZone(vals []float64) ZoneMap {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if v != v { // NaN: the zone cannot bound this block
+			return ZoneMap{math.NaN(), math.NaN()}
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return ZoneMap{mn, mx}
+}
+
 // sealedBlock is an immutable, compressed run of one rack's samples. All
 // fields are written once at seal time (or segment load time); concurrent
 // readers decode without locks.
@@ -33,6 +68,12 @@ type sealedBlock struct {
 	count      int
 	times      []byte
 	ch         [sensors.NumMetrics]channelData
+	// zones holds per-channel value bounds when hasZones is set. Blocks
+	// sealed in memory always carry them; disk-loaded blocks carry them
+	// from format version 2 on (version-1 segments predate zone maps and
+	// scan unpruned).
+	zones    [sensors.NumMetrics]ZoneMap
+	hasZones bool
 	// src names the segment file and block index for disk-loaded blocks
 	// ("" for memory-born ones), so decode errors identify their origin.
 	src string
@@ -62,14 +103,16 @@ func sealHead(h *headBlock, scales [sensors.NumMetrics]float64) *sealedBlock {
 	}
 	for m := range h.vals {
 		b.ch[m] = encodeChannel(h.vals[m], scales[m])
+		b.zones[m] = computeZone(h.vals[m])
 	}
+	b.hasZones = true
 	return b
 }
 
 func encodeChannel(vals []float64, scale float64) channelData {
 	if scale > 0 {
 		if ints, ok := quantizeExact(vals, scale); ok {
-			return channelData{enc: encInt, scale: scale, data: encodeInts(ints)}
+			return channelData{enc: encIntPacked, scale: scale, data: encodeIntsPacked(ints)}
 		}
 	}
 	return channelData{enc: encXOR, data: encodeXOR(vals)}
@@ -105,8 +148,14 @@ func (b *sealedBlock) wrap(what string, err error) error {
 }
 
 func (b *sealedBlock) decodeTimes() ([]int64, error) {
+	return b.decodeTimesArena(nil)
+}
+
+// decodeTimesArena decodes the timestamp column into dst, reusing its
+// backing array when large enough.
+func (b *sealedBlock) decodeTimesArena(dst []int64) ([]int64, error) {
 	metDecode.Inc()
-	ts, err := decodeTimes(b.times, b.count)
+	ts, err := decodeTimesInto(dst, b.times, b.count)
 	if err != nil {
 		return nil, b.wrap("timestamps", err)
 	}
@@ -116,24 +165,43 @@ func (b *sealedBlock) decodeTimes() ([]int64, error) {
 // decodeChannel materializes one value column — the unit of decompression
 // work, so single-metric reads (Series, Aggregate) skip five sixths of it.
 func (b *sealedBlock) decodeChannel(m sensors.Metric) ([]float64, error) {
+	out, _, err := b.decodeChannelArena(m, nil, nil)
+	return out, err
+}
+
+// decodeChannelArena decodes one value column into dst, using scratch for
+// the quantized-integer intermediate; both are reused when large enough,
+// and the (possibly regrown) scratch is returned for the caller's arena.
+func (b *sealedBlock) decodeChannelArena(m sensors.Metric, dst []float64, scratch []int64) ([]float64, []int64, error) {
 	metDecode.Inc()
 	c := b.ch[m]
 	if c.enc == encXOR {
-		out, err := decodeXOR(c.data, b.count)
+		out, err := decodeXORInto(dst, c.data, b.count)
 		if err != nil {
-			return nil, b.wrap(m.String(), err)
+			return nil, scratch, b.wrap(m.String(), err)
 		}
-		return out, nil
+		return out, scratch, nil
 	}
-	ints, err := decodeInts(c.data, b.count)
+	ints, err := decodeQuantizedInto(scratch, c, b.count)
 	if err != nil {
-		return nil, b.wrap(m.String(), err)
+		return nil, scratch, b.wrap(m.String(), err)
 	}
-	out := make([]float64, len(ints))
+	out := float64Slice(dst, b.count)
+	scale := c.scale
 	for i, n := range ints {
-		out[i] = float64(n) / c.scale
+		out[i] = float64(n) / scale
 	}
-	return out, nil
+	return out, ints, nil
+}
+
+// decodeQuantizedInto decodes a quantized channel's integer stream,
+// dispatching on its encoding generation (varbit for pre-existing segment
+// blocks, word-packed for newly sealed ones).
+func decodeQuantizedInto(dst []int64, c channelData, n int) ([]int64, error) {
+	if c.enc == encIntPacked {
+		return decodeIntsPackedInto(dst, c.data, n)
+	}
+	return decodeIntsInto(dst, c.data, n)
 }
 
 // payloadBytes is the compressed size of the block's streams.

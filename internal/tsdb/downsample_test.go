@@ -394,8 +394,10 @@ func snapshotAggs(t *testing.T, db *Store, racks []topology.RackID) map[string][
 
 // TestCompactionReduction pins the tier's reason to exist: folding
 // full-rate history into 1-hour windows must shrink the compacted range
-// at least 5x on disk. Long streams matter for the adaptive codec, so
-// this uses a year-scale trace.
+// at least 4x on disk. (The bar was 5x against varbit-encoded raw blocks;
+// the word-packed raw encoding is ~12% denser, which lowers the ratio
+// without changing the cold tier's absolute size.) Long streams matter
+// for the adaptive codec, so this uses a year-scale trace.
 func TestCompactionReduction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("year-scale ingest")
@@ -419,8 +421,8 @@ func TestCompactionReduction(t *testing.T) {
 	if st.Windows == 0 || st.SourceRecords == 0 {
 		t.Fatal("compaction folded nothing")
 	}
-	if r := st.Reduction(); r < 5.0 {
-		t.Errorf("compacted-range reduction = %.2fx (payload %d -> %d bytes), want >= 5x",
+	if r := st.Reduction(); r < 4.0 {
+		t.Errorf("compacted-range reduction = %.2fx (payload %d -> %d bytes), want >= 4x",
 			r, st.BytesBefore, st.BytesAfter)
 	}
 	after := db.Stats().DiskBytes

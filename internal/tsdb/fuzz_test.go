@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
@@ -55,6 +56,22 @@ func FuzzOpenSegment(f *testing.F) {
 	raw, cold := fuzzSeedSegments(f)
 	f.Add(raw)
 	f.Add(cold)
+	// The version-1 rendering of the same blocks seeds the zone-less
+	// read-compat path, and an inverted first zone seeds the zone
+	// validator's rejection path.
+	if v1, ok := segmentV1Bytes(raw); ok {
+		f.Add(v1)
+	} else {
+		f.Fatal("raw seed segment did not convert to v1")
+	}
+	{
+		mut := append([]byte(nil), raw...)
+		locLen := int(binary.LittleEndian.Uint16(mut[12:14]))
+		z := segFileHeaderSize + locLen + segBlockHeaderSize - 4
+		binary.LittleEndian.PutUint64(mut[z:], math.Float64bits(1.0))
+		binary.LittleEndian.PutUint64(mut[z+8:], math.Float64bits(0.0))
+		f.Add(mut)
+	}
 	for _, b := range [][]byte{raw, cold} {
 		for _, n := range []int{0, 1, segFileHeaderSize, len(b) / 2, len(b) - 1} {
 			if n >= 0 && n < len(b) {
@@ -150,7 +167,14 @@ func FuzzDecodeBlock(f *testing.F) {
 	}
 	f.Add(uint16(64), encodeTimes(ts))
 	f.Add(uint16(64), encodeInts(ints))
+	f.Add(uint16(64), encodeIntsPacked(ints))
 	f.Add(uint16(64), encodeXOR(floats))
+	// Packed-codec structural edges: a lone all-zero group header, a
+	// count spanning multiple groups, and an invalid group width (65,
+	// MSB-first: 1000001 + a padding 0 bit).
+	f.Add(uint16(64), []byte{0x00})
+	f.Add(uint16(129), encodeIntsPacked(make([]int64, 129)))
+	f.Add(uint16(64), []byte{0x82})
 	f.Add(uint16(64), encodeDownChannelInts(sums, mins, maxs, counts))
 	f.Add(uint16(64), encodeDownChannelFloats(fsums, append([]float64(nil), floats...), append([]float64(nil), floats...)))
 	f.Add(uint16(1), []byte{0})
@@ -162,6 +186,9 @@ func FuzzDecodeBlock(f *testing.F) {
 		}
 		if out, err := decodeInts(data, count); err == nil && len(out) != count {
 			t.Fatalf("decodeInts returned %d values, want %d", len(out), count)
+		}
+		if out, err := decodeIntsPacked(data, count); err == nil && len(out) != count {
+			t.Fatalf("decodeIntsPacked returned %d values, want %d", len(out), count)
 		}
 		if out, err := decodeXOR(data, count); err == nil && len(out) != count {
 			t.Fatalf("decodeXOR returned %d values, want %d", len(out), count)

@@ -76,7 +76,12 @@ func (it *Iter) nextBlock() bool {
 	for ; it.bi < len(it.blocks); it.bi++ {
 		bv := it.blocks[it.bi]
 		minT, maxT := bv.bounds()
-		if maxT < it.fromN || minT >= it.toN {
+		if minT >= it.toN {
+			// Blocks are time-ordered: every later block is past the range
+			// too, so stop instead of bounds-checking the whole tail.
+			return false
+		}
+		if maxT < it.fromN {
 			continue
 		}
 		times, err := bv.timestamps()
@@ -196,7 +201,10 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 	snap := s.shards[rack.Index()].snapshot()
 	for _, bv := range snap.blocks() {
 		minT, maxT := bv.bounds()
-		if maxT < fromN || minT >= toN {
+		if minT >= toN {
+			break // blocks are time-ordered: the rest are past the range
+		}
+		if maxT < fromN {
 			continue
 		}
 		ts, err := bv.timestamps()
@@ -248,12 +256,12 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 			}
 			continue
 		}
-		if b := bv.sealed; b != nil && exact && b.ch[m].enc == encInt && b.ch[m].scale == scale {
+		if b := bv.sealed; b != nil && exact && (b.ch[m].enc == encInt || b.ch[m].enc == encIntPacked) && b.ch[m].scale == scale {
 			// Raw integer fast path: decode the quantized column once and
 			// derive the float values by division — the same work as the
 			// generic decode, plus the integer accumulation for free.
 			metDecode.Inc()
-			ints, err := decodeInts(b.ch[m].data, b.count)
+			ints, err := decodeQuantizedInto(nil, b.ch[m], b.count)
 			if err != nil {
 				return nil, b.wrap(m.String(), err)
 			}

@@ -39,6 +39,8 @@ var (
 		"time the merge iterator waits for a shard's next decoded run; near zero when prefetch keeps up", nil)
 	metScanRecords = obs.NewCounter("mira_tsdb_scan_records_merged_total",
 		"records yielded in global time order by merge iterators")
+	metScanPruned = obs.NewCounter("mira_tsdb_scan_blocks_pruned_total",
+		"sealed blocks skipped by zone-map predicate pruning without decoding")
 
 	// Retention compaction (Store.Compact / CompactBefore).
 	metCompactTotal = obs.NewCounter("mira_tsdb_compact_runs_total",
@@ -112,8 +114,9 @@ func (s *Store) shardTotals() [topology.NumRacks]int {
 // queryOp names for metQueryDur, kept as constants so the label set stays
 // closed.
 const (
-	opQuery      = "query"
-	opSeries     = "series"
-	opAggregate  = "aggregate"
-	opScanMerged = "scan_merged"
+	opQuery       = "query"
+	opSeries      = "series"
+	opAggregate   = "aggregate"
+	opScanMerged  = "scan_merged"
+	opScanChunked = "scan_chunked"
 )

@@ -18,6 +18,7 @@ package tsdb
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -39,15 +40,43 @@ type scanRun struct {
 	last   bool // no further runs will follow from this shard
 }
 
+// BlockPredicate decides from a sealed block's per-channel zone maps
+// whether the block could contain matching records; returning false prunes
+// the block from the scan without decoding a single payload byte.
+// Predicates must be conservative: a zone with NaN bounds is unusable (the
+// channel holds NaN values, so the range proves nothing) and must not
+// prune, and blocks without zones (head, cold tier, version-1 segments)
+// are always scanned.
+type BlockPredicate func(zones *[sensors.NumMetrics]ZoneMap) bool
+
+// scanArena is one reusable set of decode buffers. Each ShardStream owns
+// two (see ShardStream.arenas), so after the first two runs a scan's
+// steady state decodes with zero allocations.
+type scanArena struct {
+	times []int64
+	ints  []int64 // quantized-integer scratch shared across the six channels
+	cols  [sensors.NumMetrics][]float64
+}
+
+// arenaPool recycles arena pairs across scans: a full-store scan is brief
+// but its decode buffers are not small (two runs' worth of eight columns
+// per shard), so handing them back at pool close makes repeated scans —
+// the replay/figure pipeline — allocation-free instead of megabytes per
+// pass. Recycling happens in scanPool.close, strictly after the workers
+// have joined; consumers must not touch run buffers after that (Close).
+var arenaPool = sync.Pool{New: func() any { return new([2]scanArena) }}
+
 // ShardStream is one shard's portion of a fanned-out scan: an
 // order-preserving stream of decoded runs produced by the pool's workers
 // against the shard's point-in-time snapshot. Streams are created by
 // ScanShards and consumed by MergeByTime.
 type ShardStream struct {
 	rack       topology.RackID
+	rackIdx    int
 	loc        *time.Location
 	fromN, toN int64
 	pool       *scanPool
+	pred       BlockPredicate
 
 	// nextBlock is advanced only by the worker currently serving this
 	// stream's request; the one-outstanding-request invariant makes that a
@@ -55,6 +84,17 @@ type ShardStream struct {
 	blocks    []blockView
 	nextBlock int
 	resCh     chan scanRun
+
+	// arenas double-buffers the decode target: run k decodes into
+	// arenas[k&1], so the run the consumer holds (k-1, the other parity)
+	// stays intact while its successor decodes. Run k's buffers are
+	// reclaimed only for run k+2, whose decode starts strictly after the
+	// consumer took run k+1 — and taking run k+1 drops every reference
+	// into run k. runSeq counts emitted runs; both are worker-side state
+	// under the same single-writer invariant as nextBlock. The pair comes
+	// from arenaPool and returns there when the scan's pool closes.
+	arenas *[2]scanArena
+	runSeq uint
 
 	// Consumer-side cursor, touched only by the merge iterator.
 	cur  scanRun
@@ -69,13 +109,28 @@ func (st *ShardStream) decodeStep() scanRun {
 	for ; st.nextBlock < len(st.blocks); st.nextBlock++ {
 		bv := st.blocks[st.nextBlock]
 		minT, maxT := bv.bounds()
-		if maxT < st.fromN || minT >= st.toN {
+		if minT >= st.toN {
+			// Blocks are time-ordered, so every later block starts past the
+			// range too: the stream is done, no per-block tail check needed.
+			return scanRun{last: true}
+		}
+		if maxT < st.fromN {
 			continue
 		}
+		if st.pred != nil {
+			if sb := bv.sealed; sb != nil && sb.hasZones && !st.pred(&sb.zones) {
+				metScanPruned.Inc()
+				continue
+			}
+		}
 		start := time.Now()
-		times, err := bv.timestamps()
+		ar := &st.arenas[st.runSeq&1]
+		times, err := bv.timestampsArena(ar.times)
 		if err != nil {
 			return scanRun{err: err, last: true}
+		}
+		if bv.sealed != nil {
+			ar.times = times
 		}
 		lo, hi := searchRange(times, st.fromN, st.toN)
 		if lo >= hi {
@@ -86,13 +141,19 @@ func (st *ShardStream) decodeStep() scanRun {
 			run.tier = envdb.TierDownsampled
 		}
 		for m := range run.cols {
-			if run.cols[m], err = bv.channel(sensors.Metric(m)); err != nil {
+			col, scratch, err := bv.channelArena(sensors.Metric(m), ar.cols[m], ar.ints)
+			if err != nil {
 				return scanRun{err: err, last: true}
+			}
+			run.cols[m] = col
+			if bv.sealed != nil {
+				ar.cols[m], ar.ints = col, scratch
 			}
 		}
 		metScanBlocks.Inc()
 		metScanDecodeDur.ObserveSince(start)
 		st.nextBlock++
+		st.runSeq++
 		return run
 	}
 	return scanRun{last: true}
@@ -126,10 +187,11 @@ func (st *ShardStream) curTime() int64 { return st.cur.times[st.pos] }
 // scanPool is the bounded worker pool one ScanShards call shares across
 // its shard streams.
 type scanPool struct {
-	reqCh chan *ShardStream
-	quit  chan struct{}
-	wg    sync.WaitGroup
-	once  sync.Once
+	reqCh   chan *ShardStream
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+	streams []*ShardStream // for arena recycling at close
 }
 
 func newScanPool(workers, streams int) *scanPool {
@@ -169,10 +231,19 @@ func (p *scanPool) request(st *ShardStream) {
 	}
 }
 
-// close stops the workers and waits for them to exit; safe to call twice.
+// close stops the workers and waits for them to exit, then hands every
+// stream's arena pair back to arenaPool; safe to call twice. Run buffers
+// (ShardStream.cur) must not be read after close — they may already be
+// decoding another scan's blocks.
 func (p *scanPool) close() {
 	p.once.Do(func() { close(p.quit) })
 	p.wg.Wait()
+	for _, st := range p.streams {
+		if st.arenas != nil {
+			arenaPool.Put(st.arenas)
+			st.arenas = nil
+		}
+	}
 }
 
 // normWorkers clamps a requested worker count: <= 0 selects GOMAXPROCS,
@@ -196,6 +267,14 @@ func normWorkers(workers, streams int) int {
 // streams must be consumed — and eventually Closed — through
 // MergeByTime; most callers want EachRecordMerged instead.
 func (s *Store) ScanShards(from, to time.Time, workers int) []*ShardStream {
+	return s.ScanShardsWhere(from, to, workers, nil)
+}
+
+// ScanShardsWhere is ScanShards with zone-map pruning: sealed blocks whose
+// per-channel zones fail pred are skipped without decoding. pred runs on
+// pool workers, so it must be safe for concurrent calls; nil scans
+// everything.
+func (s *Store) ScanShardsWhere(from, to time.Time, workers int, pred BlockPredicate) []*ShardStream {
 	s.init()
 	workers = normWorkers(workers, topology.NumRacks)
 	metScanWorkers.Set(float64(workers))
@@ -206,15 +285,19 @@ func (s *Store) ScanShards(from, to time.Time, workers int) []*ShardStream {
 	for i := range streams {
 		snap := s.shards[i].snapshot()
 		streams[i] = &ShardStream{
-			rack:   topology.RackByIndex(i),
-			loc:    loc,
-			fromN:  fromN,
-			toN:    toN,
-			pool:   pool,
-			blocks: snap.blocks(),
-			resCh:  make(chan scanRun, 1),
+			rack:    topology.RackByIndex(i),
+			rackIdx: i,
+			loc:     loc,
+			fromN:   fromN,
+			toN:     toN,
+			pool:    pool,
+			pred:    pred,
+			blocks:  snap.blocks(),
+			resCh:   make(chan scanRun, 1),
+			arenas:  arenaPool.Get().(*[2]scanArena),
 		}
 	}
+	pool.streams = streams
 	// Arm every stream's first request only after all are constructed, so
 	// workers see fully-built streams.
 	for _, st := range streams {
@@ -231,11 +314,22 @@ type MergeIter struct {
 	pool    *scanPool
 	pending []*ShardStream // streams not yet admitted to the heap
 	h       streamHeap
-	cur     sensors.Record
-	curTier envdb.Tier
-	merged  uint64
-	err     error
-	closed  bool
+	// (boundT, boundRack) caches the smallest key among the non-top heap
+	// entries — min(h[1], h[2]), which bounds every other entry by the heap
+	// property. While the top stream's next record stays below it, Next
+	// emits straight out of the run without touching the heap, so a stream
+	// that is ahead of the others (sparse racks, disjoint time ranges)
+	// costs one compare per record instead of a heap fix. Fully interleaved
+	// tick-aligned data crosses the boundary every record and keeps the
+	// old per-record fix; the chunked path (EachChunkMerged) is the fast
+	// lane for that shape.
+	boundT    int64
+	boundRack int
+	cur       sensors.Record
+	curTier   envdb.Tier
+	merged    uint64
+	err       error
+	closed    bool
 }
 
 // MergeByTime merges the shard streams of one ScanShards call into a
@@ -270,20 +364,26 @@ func (it *MergeIter) Next() bool {
 		}
 		it.pending = nil
 		it.h.init()
+		it.rebound()
 	} else if len(it.h) > 0 {
 		st := it.h[0]
 		st.pos++
-		if st.pos >= st.cur.hi {
-			if st.advanceRun() {
-				it.h.fix()
-			} else if st.err != nil {
-				it.fail(st.err)
-				return false
+		if st.pos < st.cur.hi {
+			if t := st.cur.times[st.pos]; t < it.boundT || (t == it.boundT && st.rackIdx < it.boundRack) {
+				// Still the global minimum: emit without a heap fix.
 			} else {
-				it.h.popTop()
+				it.h.fix()
+				it.rebound()
 			}
-		} else {
+		} else if st.advanceRun() {
 			it.h.fix()
+			it.rebound()
+		} else if st.err != nil {
+			it.fail(st.err)
+			return false
+		} else {
+			it.h.popTop()
+			it.rebound()
 		}
 	}
 	if len(it.h) == 0 {
@@ -313,6 +413,23 @@ func (it *MergeIter) fail(err error) {
 	it.Close()
 }
 
+// rebound recomputes the cached second-best key after any heap mutation.
+// Every non-top entry is a descendant of h[1] or h[2], so min(h[1], h[2])
+// bounds them all.
+func (it *MergeIter) rebound() {
+	h := it.h
+	if len(h) < 2 {
+		it.boundT, it.boundRack = math.MaxInt64, int(^uint(0)>>1)
+		return
+	}
+	it.boundT, it.boundRack = h[1].curTime(), h[1].rackIdx
+	if len(h) > 2 {
+		if t, r := h[2].curTime(), h[2].rackIdx; t < it.boundT || (t == it.boundT && r < it.boundRack) {
+			it.boundT, it.boundRack = t, r
+		}
+	}
+}
+
 // Close releases the scan's worker pool; idempotent. Next calls it
 // automatically on exhaustion or error, so explicit Close only matters
 // for early abandonment.
@@ -339,7 +456,7 @@ func (h streamHeap) less(a, b *ShardStream) bool {
 	if ta != tb {
 		return ta < tb
 	}
-	return a.rack.Index() < b.rack.Index()
+	return a.rackIdx < b.rackIdx
 }
 
 func (h streamHeap) init() {

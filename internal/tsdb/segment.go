@@ -5,11 +5,11 @@ package tsdb
 // reopen it instead of re-running the simulation — the "record once,
 // analyze many times" posture of the paper's DB2 environmental database.
 //
-// Format (version 1, little-endian):
+// Format (version 2, little-endian):
 //
 //	file header:
 //	  magic    [4]byte  "MTSG"
-//	  version  uint16   1
+//	  version  uint16   2 (1 accepted on read; it lacks the zone maps)
 //	  shard    uint16   rack index in [0, NumRacks)
 //	  nblocks  uint32
 //	  locLen   uint16   length of the location name
@@ -22,6 +22,9 @@ package tsdb
 //	    count     uint32   samples in the block
 //	    timesLen  uint32   compressed timestamp payload length
 //	    channels  [6]×(enc uint8, scale float64 bits, dataLen uint32)
+//	    zones     [6]×(min float64 bits, max float64 bits)  — version ≥ 2
+//	                       only; both-NaN marks an unusable zone (channel
+//	                       holds NaN values, so the range proves nothing)
 //	    crc       uint32   IEEE CRC32 over the header bytes above plus all
 //	                       of the block's payload bytes
 //	  payloads:
@@ -79,12 +82,21 @@ var segMagic = [4]byte{'M', 'T', 'S', 'G'}
 var coldMagic = [4]byte{'M', 'T', 'S', 'C'}
 
 const (
-	segVersion = 1
+	// segVersion1 is the original raw-segment block-header layout; version
+	// 2 appends per-channel zone maps (min/max float64 bits) to each block
+	// header so scans can prune blocks without decoding. Open accepts both;
+	// Flush writes version 2. Cold segments keep their own version-1
+	// layout — downsampled blocks already store per-window min/max.
+	segVersion1    = 1
+	segVersion     = 2
+	segVersionCold = 1
 
 	segFileHeaderSize = 4 + 2 + 2 + 4 + 2 + 4 // + location name
 	// segBlockHeaderSize covers minT, maxT, count, timesLen, six
-	// (enc, scale, dataLen) channel triples, and the CRC.
-	segBlockHeaderSize = 8 + 8 + 4 + 4 + int(sensors.NumMetrics)*(1+8+4) + 4
+	// (enc, scale, dataLen) channel triples, and the CRC (version 1);
+	// version 2 adds six (zoneMin, zoneMax) float64 pairs before the CRC.
+	segBlockHeaderSize   = 8 + 8 + 4 + 4 + int(sensors.NumMetrics)*(1+8+4) + 4
+	segBlockHeaderSizeV2 = segBlockHeaderSize + int(sensors.NumMetrics)*16
 	// coldBlockHeaderSize covers window, minT, maxT, count, srcRecords,
 	// timesLen, countsLen, six channel triples, and the CRC.
 	coldBlockHeaderSize = 8 + 8 + 8 + 4 + 8 + 4 + 4 + int(sensors.NumMetrics)*(1+8+4) + 4
@@ -163,7 +175,7 @@ func writeSegment(dir string, shard int, loc *time.Location, blocks []*sealedBlo
 		return 0, fmt.Errorf("tsdb: flush shard %d: %w", shard, err)
 	}
 
-	bh := make([]byte, 0, segBlockHeaderSize)
+	bh := make([]byte, 0, segBlockHeaderSizeV2)
 	for _, b := range blocks {
 		bh = bh[:0]
 		bh = binary.LittleEndian.AppendUint64(bh, uint64(b.minT))
@@ -175,6 +187,17 @@ func writeSegment(dir string, shard int, loc *time.Location, blocks []*sealedBlo
 			bh = append(bh, c.enc)
 			bh = binary.LittleEndian.AppendUint64(bh, math.Float64bits(c.scale))
 			bh = binary.LittleEndian.AppendUint32(bh, uint32(len(c.data)))
+		}
+		for m := range b.ch {
+			z := b.zones[m]
+			if !b.hasZones {
+				// Blocks loaded from a version-1 segment have no zones;
+				// persist the NaN "unusable" sentinel rather than recompute
+				// (which would decode every payload during Flush).
+				z = ZoneMap{math.NaN(), math.NaN()}
+			}
+			bh = binary.LittleEndian.AppendUint64(bh, math.Float64bits(z.Min))
+			bh = binary.LittleEndian.AppendUint64(bh, math.Float64bits(z.Max))
 		}
 		crc := crc32.ChecksumIEEE(bh)
 		crc = crc32.Update(crc, crc32.IEEETable, b.times)
@@ -342,8 +365,12 @@ func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location,
 		return 0, nil, nil, corrupt("bad magic %q", buf[:4])
 	}
 	version := binary.LittleEndian.Uint16(buf[4:6])
-	if version != segVersion {
-		return 0, nil, nil, corrupt("unsupported format version %d (want %d)", version, segVersion)
+	if version != segVersion1 && version != segVersion {
+		return 0, nil, nil, corrupt("unsupported format version %d (want %d or %d)", version, segVersion1, segVersion)
+	}
+	bhSize := segBlockHeaderSize
+	if version >= segVersion {
+		bhSize = segBlockHeaderSizeV2
 	}
 	shard := int(binary.LittleEndian.Uint16(buf[6:8]))
 	if shard >= topology.NumRacks {
@@ -357,7 +384,7 @@ func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location,
 	}
 	locName := string(buf[segFileHeaderSize : segFileHeaderSize+locLen])
 	loc := loadLocation(locName, locOff)
-	if nblocks <= 0 || nblocks > (len(buf)-segFileHeaderSize)/segBlockHeaderSize {
+	if nblocks <= 0 || nblocks > (len(buf)-segFileHeaderSize)/bhSize {
 		return 0, nil, nil, corrupt("implausible block count %d for %d bytes", nblocks, len(buf))
 	}
 
@@ -365,10 +392,10 @@ func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location,
 	off := segFileHeaderSize + locLen
 	var prevMax int64
 	for i := 0; i < nblocks; i++ {
-		if len(buf)-off < segBlockHeaderSize {
+		if len(buf)-off < bhSize {
 			return 0, nil, nil, corrupt("block %d: truncated header", i)
 		}
-		h := buf[off : off+segBlockHeaderSize]
+		h := buf[off : off+bhSize]
 		b := &sealedBlock{
 			minT:  int64(binary.LittleEndian.Uint64(h[0:8])),
 			maxT:  int64(binary.LittleEndian.Uint64(h[8:16])),
@@ -385,10 +412,28 @@ func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location,
 			payload += dataLen
 			p += 13
 		}
+		if version >= segVersion {
+			for m := range b.zones {
+				b.zones[m].Min = math.Float64frombits(binary.LittleEndian.Uint64(h[p : p+8]))
+				b.zones[m].Max = math.Float64frombits(binary.LittleEndian.Uint64(h[p+8 : p+16]))
+				p += 16
+			}
+			b.hasZones = true
+		}
 		wantCRC := binary.LittleEndian.Uint32(h[p : p+4])
 
 		if b.count <= 0 {
 			return 0, nil, nil, corrupt("block %d: empty block", i)
+		}
+		if b.hasZones {
+			for m, z := range b.zones {
+				// Valid zones are either ordered or the both-NaN "unusable"
+				// sentinel; anything else is a mangled header the CRC would
+				// catch anyway — reject it with a precise message first.
+				if !z.usable() && !(math.IsNaN(z.Min) && math.IsNaN(z.Max)) {
+					return 0, nil, nil, corrupt("block %d: channel %d: inverted zone map [%v, %v]", i, m, z.Min, z.Max)
+				}
+			}
 		}
 		// Plausibility floor before any decoder allocates count-sized
 		// buffers: delta-of-delta timestamps cost 64 bits for the first
@@ -403,17 +448,17 @@ func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location,
 			return 0, nil, nil, corrupt("block %d: overlaps previous block", i)
 		}
 		prevMax = b.maxT
-		if len(buf)-off-segBlockHeaderSize < payload {
-			return 0, nil, nil, corrupt("block %d: truncated payload (%d of %d bytes)", i, len(buf)-off-segBlockHeaderSize, payload)
+		if len(buf)-off-bhSize < payload {
+			return 0, nil, nil, corrupt("block %d: truncated payload (%d of %d bytes)", i, len(buf)-off-bhSize, payload)
 		}
 
 		crc := crc32.ChecksumIEEE(h[:p]) // header fields, sans CRC itself
-		crc = crc32.Update(crc, crc32.IEEETable, buf[off+segBlockHeaderSize:off+segBlockHeaderSize+payload])
+		crc = crc32.Update(crc, crc32.IEEETable, buf[off+bhSize:off+bhSize+payload])
 		if crc != wantCRC {
 			return 0, nil, nil, corrupt("block %d: checksum mismatch (got %08x, want %08x)", i, crc, wantCRC)
 		}
 
-		q := off + segBlockHeaderSize
+		q := off + bhSize
 		b.times = buf[q : q+timesLen : q+timesLen]
 		q += timesLen
 		p = 24
@@ -428,6 +473,14 @@ func parseSegment(name string, buf []byte) (int, []*sealedBlock, *time.Location,
 					return 0, nil, nil, corrupt("block %d: channel %d: invalid scale %v", i, m, b.ch[m].scale)
 				}
 				if dataLen*8 < b.count { // varbit: at least one bit per value
+					return 0, nil, nil, corrupt("block %d: channel %d: %d values cannot fit in %d bytes", i, m, b.count, dataLen)
+				}
+			case encIntPacked:
+				if !(b.ch[m].scale > 0) || math.IsInf(b.ch[m].scale, 1) { // also rejects NaN
+					return 0, nil, nil, corrupt("block %d: channel %d: invalid scale %v", i, m, b.ch[m].scale)
+				}
+				// Packed groups cost at least their 7-bit width header.
+				if groups := (b.count + packGroup - 1) / packGroup; dataLen*8 < groups*7 {
 					return 0, nil, nil, corrupt("block %d: channel %d: %d values cannot fit in %d bytes", i, m, b.count, dataLen)
 				}
 			case encXOR:
@@ -462,7 +515,7 @@ func writeColdSegment(path string, shard int, loc *time.Location, blocks []*down
 	written := int64(segFileHeaderSize + len(locName))
 	hdr := make([]byte, 0, segFileHeaderSize)
 	hdr = append(hdr, coldMagic[:]...)
-	hdr = binary.LittleEndian.AppendUint16(hdr, segVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, segVersionCold)
 	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(shard))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(blocks)))
 	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(locName)))
@@ -542,8 +595,8 @@ func parseColdSegment(name string, buf []byte) (int, []*downBlock, *time.Locatio
 		return 0, nil, nil, corrupt("bad magic %q", buf[:4])
 	}
 	version := binary.LittleEndian.Uint16(buf[4:6])
-	if version != segVersion {
-		return 0, nil, nil, corrupt("unsupported format version %d (want %d)", version, segVersion)
+	if version != segVersionCold {
+		return 0, nil, nil, corrupt("unsupported format version %d (want %d)", version, segVersionCold)
 	}
 	shard := int(binary.LittleEndian.Uint16(buf[6:8]))
 	if shard >= topology.NumRacks {

@@ -2,7 +2,9 @@ package tsdb
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"os"
@@ -11,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"mira/internal/envdb"
 	"mira/internal/sensors"
 	"mira/internal/timeutil"
 	"mira/internal/topology"
@@ -179,6 +182,157 @@ func flushOneShard(t *testing.T) (string, string) {
 	return dir, filepath.Join(dir, segFileName(rack.Index()))
 }
 
+// segmentV1Bytes rewrites a version-2 segment image in the version-1
+// block-header layout: the per-block zone maps are stripped and each block
+// CRC is recomputed over the remaining header fields plus the payload.
+// It reproduces exactly what a pre-zone-map build would have written for
+// the same store, so the tests (and the segment fuzzer's seed corpus) can
+// exercise the read-compat path without keeping golden files around. The
+// second return is false when buf is not a well-formed v2 segment.
+func segmentV1Bytes(buf []byte) ([]byte, bool) {
+	if len(buf) < segFileHeaderSize {
+		return nil, false
+	}
+	nblocks := int(binary.LittleEndian.Uint32(buf[8:12]))
+	locLen := int(binary.LittleEndian.Uint16(buf[12:14]))
+	out := make([]byte, 0, len(buf))
+	out = append(out, buf[:segFileHeaderSize+locLen]...)
+	binary.LittleEndian.PutUint16(out[4:6], segVersion1)
+	off := segFileHeaderSize + locLen
+	for i := 0; i < nblocks; i++ {
+		if len(buf)-off < segBlockHeaderSizeV2 {
+			return nil, false
+		}
+		h := buf[off : off+segBlockHeaderSizeV2]
+		fields := h[:segBlockHeaderSize-4] // sans zones and CRC
+		payload := int(binary.LittleEndian.Uint32(h[20:24]))
+		for p := 24; p < segBlockHeaderSize-4; p += 13 {
+			payload += int(binary.LittleEndian.Uint32(h[p+9 : p+13]))
+		}
+		if len(buf)-off-segBlockHeaderSizeV2 < payload {
+			return nil, false
+		}
+		body := buf[off+segBlockHeaderSizeV2 : off+segBlockHeaderSizeV2+payload]
+		crc := crc32.ChecksumIEEE(fields)
+		crc = crc32.Update(crc, crc32.IEEETable, body)
+		out = append(out, fields...)
+		out = binary.LittleEndian.AppendUint32(out, crc)
+		out = append(out, body...)
+		off += segBlockHeaderSizeV2 + payload
+	}
+	if off != len(buf) {
+		return nil, false
+	}
+	return out, true
+}
+
+func convertSegmentToV1(t *testing.T, path string) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := segmentV1Bytes(buf)
+	if !ok {
+		t.Fatalf("segment %s is not a well-formed v2 file", path)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenVersion1Segment pins segment read compatibility: a version-1 file
+// (no zone maps) opens, answers queries and merged scans identically to the
+// version-2 original, and reflushing upgrades it to version 2 with the NaN
+// "unusable" zone sentinel — never fabricated bounds that could prune
+// wrongly.
+func TestOpenVersion1Segment(t *testing.T) {
+	dir := t.TempDir()
+	racks := []topology.RackID{{Row: 0, Col: 2}, {Row: 1, Col: 7}}
+	s := NewStoreWith(Options{Partition: 24 * time.Hour})
+	fill(t, 700, racks, s)
+	if err := s.Flush(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, rack := range racks {
+		convertSegmentToV1(t, filepath.Join(dir, segFileName(rack.Index())))
+	}
+
+	v1, err := Open(dir, Options{Partition: 24 * time.Hour})
+	if err != nil {
+		t.Fatalf("Open(v1 segments): %v", err)
+	}
+	if v1.Len() != s.Len() {
+		t.Fatalf("v1 Len = %d, want %d", v1.Len(), s.Len())
+	}
+	from, to := base.Add(-time.Hour), base.Add(800*timeutil.SampleInterval)
+	for _, rack := range racks {
+		w := s.Query(rack, from, to)
+		g := v1.Query(rack, from, to)
+		if len(g) != len(w) {
+			t.Fatalf("rack %v: v1 Query len = %d, want %d", rack, len(g), len(w))
+		}
+		for i := range w {
+			for _, m := range sensors.AllMetrics() {
+				if g[i].Value(m) != w[i].Value(m) {
+					t.Fatalf("rack %v sample %d %v: %v, want %v", rack, i, m, g[i].Value(m), w[i].Value(m))
+				}
+			}
+		}
+	}
+	// The chunked merged scan must deliver every record even under a
+	// predicate that matches nothing: version-1 blocks have no zones, so
+	// nothing may be pruned.
+	pruneAll := func(*[sensors.NumMetrics]ZoneMap) bool { return false }
+	rows := 0
+	err = v1.EachChunkMergedWhere(1, pruneAll, func(c *envdb.Chunk) bool {
+		rows += len(c.Times)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != s.Len() {
+		t.Fatalf("v1 pruned scan visited %d rows, want %d (zone-less blocks must not prune)", rows, s.Len())
+	}
+
+	// Reflush: the store rewrites what it read as version 2 and reopens.
+	dir2 := t.TempDir()
+	if err := v1.Flush(dir2); err != nil {
+		t.Fatal(err)
+	}
+	for _, rack := range racks {
+		buf, err := os.ReadFile(filepath.Join(dir2, segFileName(rack.Index())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint16(buf[4:6]); v != segVersion {
+			t.Fatalf("reflushed segment version = %d, want %d", v, segVersion)
+		}
+	}
+	v2, err := Open(dir2, Options{Partition: 24 * time.Hour})
+	if err != nil {
+		t.Fatalf("Open(reflushed v2): %v", err)
+	}
+	if v2.Len() != s.Len() {
+		t.Fatalf("reflushed Len = %d, want %d", v2.Len(), s.Len())
+	}
+	for _, rack := range racks {
+		w := s.Query(rack, from, to)
+		g := v2.Query(rack, from, to)
+		if len(g) != len(w) {
+			t.Fatalf("rack %v: reflushed Query len = %d, want %d", rack, len(g), len(w))
+		}
+		for i := range w {
+			for _, m := range sensors.AllMetrics() {
+				if g[i].Value(m) != w[i].Value(m) {
+					t.Fatalf("rack %v sample %d %v: %v, want %v", rack, i, m, g[i].Value(m), w[i].Value(m))
+				}
+			}
+		}
+	}
+}
+
 func TestOpenCorruption(t *testing.T) {
 	cases := map[string]func(t *testing.T, path string){
 		"truncated header": func(t *testing.T, path string) {
@@ -221,6 +375,22 @@ func TestOpenCorruption(t *testing.T) {
 				t.Fatal(err)
 			}
 			buf[4], buf[5] = 0xFF, 0x7F
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"inverted zone map": func(t *testing.T, path string) {
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// First block's first zone pair: Min = 1.0, Max = 0.0. The
+			// parser must reject the inversion outright — a mangled zone
+			// that survived would silently prune valid blocks.
+			locLen := int(binary.LittleEndian.Uint16(buf[12:14]))
+			z := segFileHeaderSize + locLen + segBlockHeaderSize - 4
+			binary.LittleEndian.PutUint64(buf[z:], math.Float64bits(1.0))
+			binary.LittleEndian.PutUint64(buf[z+8:], math.Float64bits(0.0))
 			if err := os.WriteFile(path, buf, 0o644); err != nil {
 				t.Fatal(err)
 			}

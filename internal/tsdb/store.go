@@ -330,6 +330,27 @@ func (bv blockView) channel(m sensors.Metric) ([]float64, error) {
 	return bv.headSnap.headVals[m], nil
 }
 
+// timestampsArena is timestamps with arena reuse: sealed blocks decode into
+// dst's backing array when it is large enough. Head views alias their
+// snapshot and cold blocks decode fresh (they are rare), so both ignore dst.
+func (bv blockView) timestampsArena(dst []int64) ([]int64, error) {
+	if bv.sealed != nil {
+		return bv.sealed.decodeTimesArena(dst)
+	}
+	return bv.timestamps()
+}
+
+// channelArena is channel with arena reuse for sealed blocks; the (possibly
+// regrown) integer scratch comes back for the caller to keep. Head and cold
+// views ignore the arena like timestampsArena.
+func (bv blockView) channelArena(m sensors.Metric, dst []float64, scratch []int64) ([]float64, []int64, error) {
+	if bv.sealed != nil {
+		return bv.sealed.decodeChannelArena(m, dst, scratch)
+	}
+	out, err := bv.channel(m)
+	return out, scratch, err
+}
+
 // mustDecode is the internal-invariant backstop for the error-free query
 // surface (Query, Series, EachRecord): memory-born blocks are correct by
 // construction and disk-loaded blocks are checksum-verified at Open, so a
@@ -382,7 +403,10 @@ func (s *Store) Series(rack topology.RackID, m sensors.Metric, from, to time.Tim
 	vals := []float64{}
 	for _, bv := range snap.blocks() {
 		minT, maxT := bv.bounds()
-		if maxT < fromN || minT >= toN {
+		if minT >= toN {
+			break // blocks are time-ordered: the rest are past the range
+		}
+		if maxT < fromN {
 			continue
 		}
 		ts := mustDecode(bv.timestamps())

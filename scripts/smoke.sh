@@ -51,6 +51,15 @@ if ! diff -u "$data/warm.txt" "$data/scan1.txt"; then
 	exit 1
 fi
 
+# The batch-columnar (chunked) scan is the default replay surface; forcing
+# the record-at-a-time merge with -scan-mode record must print byte-identical
+# figures — the two paths decode the same stored bytes.
+"$bin/miraanalyze" -data "$data/seg" -scan-mode record >"$data/scanrec.txt"
+if ! diff -u "$data/warm.txt" "$data/scanrec.txt"; then
+	echo "smoke: figures differ between the chunked scan and -scan-mode record" >&2
+	exit 1
+fi
+
 # Retention compaction: persist a second store with daily partitions, then
 # let miraanalyze -retention fold everything but the newest day into 1-hour
 # downsampled windows on disk. The Fig. 7/9 pushdown figures aggregate
@@ -175,4 +184,4 @@ grep -q 'corrupt segment' "$data/corrupt.txt" || {
 	exit 1
 }
 
-echo "smoke: ok (warm figures match the in-memory path; remote figures match over the wire; push + graceful shutdown persisted; pushdown figures survive retention compaction; corruption rejected)"
+echo "smoke: ok (warm figures match the in-memory path; chunked and record-at-a-time scans agree; remote figures match over the wire; push + graceful shutdown persisted; pushdown figures survive retention compaction; corruption rejected)"
