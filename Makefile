@@ -10,7 +10,9 @@ vet:
 	$(GO) vet ./...
 
 # lint statically rejects metric registrations whose names violate the
-# mira_[a-z_]+ namespace rule (the obs registry also panics at runtime).
+# mira_[a-z_]+ namespace rule (the obs registry also panics at runtime),
+# span name literals that break [a-z][a-z0-9_.]* or register at more than
+# one site, and exemplar label keys other than a single trace_id.
 lint:
 	$(GO) run scripts/lint_metrics.go
 
@@ -32,13 +34,16 @@ smoke:
 	./scripts/smoke.sh
 
 # fuzz-smoke gives each fuzz target a short budget: segment parsing, block
-# decoding, and the network frame parser must reject arbitrary bytes with
-# wrapped sentinel errors (ErrCorrupt / ErrFrame), never a panic. The go
+# decoding, the network frame parser, and the trace-header parser must
+# reject arbitrary bytes cleanly (wrapped sentinel errors for the wire
+# formats, a fresh root trace for X-Mira-Trace), never a panic. The go
 # fuzzer runs one target per invocation.
 fuzz-smoke:
 	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz '^FuzzOpenSegment$$' -fuzztime 10s
 	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz '^FuzzDecodeBlock$$' -fuzztime 10s
 	$(GO) test ./internal/telemetrynet/ -run '^$$' -fuzz '^FuzzDecodeIngestFrame$$' -fuzztime 10s
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzParseTraceHeader$$' -fuzztime 10s
+	$(GO) test ./internal/telemetrynet/ -run '^$$' -fuzz '^FuzzTraceHeaderHandling$$' -fuzztime 10s
 
 # bench reports tsdb ingest throughput, compressed bytes/sample, and
 # range-query scan performance, then snapshots the numbers (plus an

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -284,19 +285,28 @@ func analyzeStore(db envdb.DB, scan analysis.CollectOptions, figure string) {
 		return
 	}
 
+	// One root span covers the whole figure run, so an analysis against a
+	// remote server shows up at /debug/traces (both ends) as a single trace:
+	// analyze.run → replay/pushdown → client RPC spans → server handler →
+	// tsdb scan/aggregate. The client's Ctx-aware scan and aggregate
+	// surfaces carry the trace in X-Mira-Trace.
+	ctx, span := obs.Span(context.Background(), "analyze.run")
+	defer span.End()
+	span.SetAttr("figure", figure)
+
 	if agg, ok := db.(envdb.Aggregator); ok && !want("3") && !want("8") {
 		// Pushdown fast path: Figs. 7 and 9 need only per-rack means, which
 		// come exactly (integer-domain sums) from compressed columns of both
 		// the raw and downsampled tiers.
 		if want("7") {
-			fig7, err := analysis.Fig7CoolantPushdown(agg)
+			fig7, err := analysis.Fig7CoolantPushdownCtx(ctx, agg)
 			if err != nil {
 				logg.Fatalf("%v", err)
 			}
 			printOfflineFig7(fig7)
 		}
 		if want("9") {
-			fig9, err := analysis.Fig9AmbientPushdown(agg)
+			fig9, err := analysis.Fig9AmbientPushdownCtx(ctx, agg)
 			if err != nil {
 				logg.Fatalf("%v", err)
 			}
@@ -305,7 +315,7 @@ func analyzeStore(db envdb.DB, scan analysis.CollectOptions, figure string) {
 		return
 	}
 
-	c := analysis.CollectFromStoreOpts(db, scan)
+	c := analysis.CollectFromStoreCtx(ctx, db, scan)
 
 	if want("3") {
 		fig3 := c.Fig3CoolantTimeline()

@@ -83,15 +83,17 @@ func percentile(sorted []float64, q float64) float64 {
 
 func main() {
 	var (
-		url       = flag.String("url", "", "base URL of the telemetry server (required, e.g. http://127.0.0.1:8080)")
-		clients   = flag.Int("clients", 1000, "concurrent query clients")
-		requests  = flag.Int("requests", 20000, "total requests across all clients")
-		seed      = flag.Int64("seed", 1, "request-mix seed")
-		out       = flag.String("out", "BENCH_net.json", "write the JSON latency snapshot to this file")
-		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		url         = flag.String("url", "", "base URL of the telemetry server (required, e.g. http://127.0.0.1:8080)")
+		clients     = flag.Int("clients", 1000, "concurrent query clients")
+		requests    = flag.Int("requests", 20000, "total requests across all clients")
+		seed        = flag.Int64("seed", 1, "request-mix seed")
+		out         = flag.String("out", "BENCH_net.json", "write the JSON latency snapshot to this file")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+		traceSample = flag.Float64("trace-sample", 0.01, "head-sampling ratio for request traces, 0..1; the sampled flag rides X-Mira-Trace, so the server keeps the same subset (plus anything slow)")
 	)
 	flag.Parse()
 	logg := obs.NewLogger(os.Stderr, *logFormat, "miraload")
+	obs.ConfigureTracer(obs.TracerConfig{SampleRatio: *traceSample, NoSample: *traceSample <= 0})
 	if *url == "" {
 		logg.Fatalf("-url is required (start a server with: miramon -serve -listen :8080 -data dir)")
 	}
@@ -135,7 +137,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			mine := make([]sample, 0, *requests / *clients+1)
+			mine := make([]sample, 0, *requests / *clients + 1)
 			for {
 				if atomic.AddInt64(&nextReq, 1) > int64(*requests) {
 					break

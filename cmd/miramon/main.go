@@ -141,9 +141,19 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 		scanWorkers = flag.Int("scan-workers", 0, "decode workers for parallel store scans (0 = GOMAXPROCS)")
 		scanMode    = flag.String("scan-mode", "chunked", "merged-scan surface for the analysis summary: chunked (batch-columnar) or record (record-at-a-time)")
+		slowQuery   = flag.Duration("slow-query", 0, "log telemetry API requests at or over this duration as JSON slow-query lines on stderr, and always keep their traces at /debug/traces (0 = disabled)")
+		traceSample = flag.Float64("trace-sample", 1, "head-sampling ratio for request traces at /debug/traces, 0..1; slow requests are kept regardless")
 	)
 	flag.Parse()
 	logg := obs.NewLogger(os.Stderr, *logFormat, "miramon")
+
+	tcfg := obs.TracerConfig{SampleRatio: *traceSample, NoSample: *traceSample <= 0}
+	if *slowQuery > 0 {
+		// One threshold drives both surfaces: the slow-query log and the
+		// tracer's always-keep-slow policy.
+		tcfg.SlowSpan = *slowQuery
+	}
+	obs.ConfigureTracer(tcfg)
 
 	scan := analysis.CollectOptions{Workers: *scanWorkers}
 	switch *scanMode {
@@ -167,7 +177,10 @@ func main() {
 		}
 		var mount func(*http.ServeMux)
 		if *serve && db != nil {
-			mount = telemetrynet.NewServer(db, telemetrynet.ServerOptions{ScanWorkers: *scanWorkers}).Mount
+			mount = telemetrynet.NewServer(db, telemetrynet.ServerOptions{
+				ScanWorkers: *scanWorkers,
+				SlowQuery:   *slowQuery,
+			}).Mount
 		}
 		srv, err := obs.ServeWith(*listen, mount)
 		if err != nil {

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -84,8 +85,14 @@ func main() {
 
 	var sink envdb.DB = db
 	var pushClient *telemetrynet.Client
+	var pushSpan *obs.ActiveSpan
 	if *push != "" {
-		pushClient = telemetrynet.NewClient(*push, telemetrynet.ClientOptions{})
+		// One root span covers the whole push: every ingest batch becomes a
+		// net.client.ingest child carried to the server in X-Mira-Trace, so
+		// the full stream reads as a single trace at /debug/traces.
+		var pushCtx context.Context
+		pushCtx, pushSpan = obs.Span(context.Background(), "sim.push")
+		pushClient = telemetrynet.NewClient(*push, telemetrynet.ClientOptions{Context: pushCtx})
 		sink = pushClient
 		logg.Infof("pushing telemetry to %s", *push)
 	}
@@ -111,6 +118,7 @@ func main() {
 		if err := pushClient.Flush(); err != nil {
 			logg.Fatalf("push: %v", err)
 		}
+		pushSpan.End()
 		ps := pushClient.Stats()
 		remote, err := pushClient.Info()
 		if err != nil {

@@ -11,6 +11,7 @@
 package analysis
 
 import (
+	"context"
 	"time"
 
 	"mira/internal/sensors"
@@ -23,6 +24,11 @@ import (
 // Collector is a sim.Recorder that accumulates every figure's aggregates.
 type Collector struct {
 	sim.NopRecorder
+
+	// ctx carries the replay trace so per-figure aggregations start as
+	// children of the analysis.replay span (nil outside an offline replay,
+	// in which case figures trace as roots). See Collector.timed in obs.go.
+	ctx context.Context
 
 	// System-level profiles.
 	powerByYM  *series.Profile

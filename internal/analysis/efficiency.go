@@ -32,7 +32,7 @@ type Efficiency struct {
 // from the collector's monthly profile, plant power from the cooling model
 // against the weather. PUE = (IT + plant) / IT.
 func (c *Collector) EfficiencyStudy(seed int64, year int) Efficiency {
-	defer timed("efficiency_study")()
+	defer c.timed("efficiency_study")()
 	wx := weather.New(seed)
 	plant := cooling.NewPlant(wx, seed+1)
 

@@ -63,7 +63,7 @@ type CMFPerRack struct {
 
 // Fig11CMFPerRack combines the deduped log with the collector's rack means.
 func Fig11CMFPerRack(log *ras.Log, c *Collector) CMFPerRack {
-	defer timed("fig11_cmf_per_rack")()
+	defer c.timed("fig11_cmf_per_rack")()
 	events := log.DedupCMF()
 	out := CMFPerRack{Counts: ras.CountByRack(events)}
 	counts := make([]float64, topology.NumRacks)

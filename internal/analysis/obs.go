@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"time"
 
 	"mira/internal/obs"
@@ -17,4 +18,22 @@ var metFigDur = obs.NewHistogramVec("mira_analysis_figure_duration_seconds",
 func timed(figure string) func() {
 	start := time.Now()
 	return func() { metFigDur.With(figure).ObserveSince(start) }
+}
+
+// timed on a Collector is the package-level timed plus a tracing span named
+// "analysis."+figure. Figures computed after an offline replay become
+// children of the replay's trace (the Collector holds the analysis.replay
+// span context); a Collector fed live by the simulator has no replay trace,
+// so its figures trace as sampled roots.
+func (c *Collector) timed(figure string) func() {
+	stop := timed(figure)
+	ctx := c.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_, span := obs.Span(ctx, "analysis."+figure)
+	return func() {
+		span.End()
+		stop()
+	}
 }

@@ -58,24 +58,42 @@ func CollectFromStoreParallel(db envdb.DB, workers int) *Collector {
 // retained full-rate range, while the Fig. 7/9 pushdown figures aggregate
 // across both tiers exactly.
 func CollectFromStoreOpts(db envdb.DB, opts CollectOptions) *Collector {
+	return CollectFromStoreCtx(context.Background(), db, opts)
+}
+
+// CollectFromStoreCtx is CollectFromStoreOpts under a caller trace: the
+// replay runs as an "analysis.replay" span parented to ctx, the scan path
+// taken is recorded as the span's scan_mode attribute (chunked, record, or
+// grouped), and the returned Collector keeps the replay trace so later
+// per-figure aggregations join it as children. Stores exposing the
+// context-aware scan capabilities (envdb.ContextChunkScanner,
+// envdb.ContextTierScanner) additionally propagate the trace into their
+// own scan spans; plain stores replay identically, just untraced below
+// this level.
+func CollectFromStoreCtx(ctx context.Context, db envdb.DB, opts CollectOptions) *Collector {
 	defer timed("collect_from_store")()
-	_, span := obs.Span(context.Background(), "analysis.collect")
+	ctx, span := obs.Span(ctx, "analysis.replay")
 	defer span.End()
 	c := NewCollector()
+	c.ctx = ctx
+	mode := "grouped"
 	// The replay surfaces are error-free; a merged-scan failure means
 	// in-process corruption — the same invariant the tsdb query surface
 	// treats as panic-worthy.
 	if cs, ok := db.(envdb.ChunkScanner); ok && !opts.ForceRecords {
-		if _, err := replayChunked(cs, opts.Workers, c); err != nil {
+		mode = "chunked"
+		if _, err := replayChunkedCtx(ctx, cs, opts.Workers, c); err != nil {
 			panic(err)
 		}
 	} else if ss, ok := db.(envdb.ShardScanner); ok {
-		if _, err := replayMerged(ss, opts.Workers, c); err != nil {
+		mode = "record"
+		if _, err := replayMergedCtx(ctx, ss, opts.Workers, c); err != nil {
 			panic(err)
 		}
 	} else {
 		replayGrouped(db, c)
 	}
+	span.SetAttr("scan_mode", mode)
 	c.Finalize()
 	return c
 }
@@ -134,20 +152,27 @@ func (a *tickAccum) flush() {
 // an instant) record-at-a-time scan through the collector. It returns the
 // peak tick-buffer length so tests can pin the O(racks) memory bound.
 func replayMerged(ss envdb.ShardScanner, workers int, c *Collector) (maxTick int, err error) {
+	return replayMergedCtx(context.Background(), ss, workers, c)
+}
+
+func replayMergedCtx(ctx context.Context, ss envdb.ShardScanner, workers int, c *Collector) (maxTick int, err error) {
 	acc := newTickAccum(c)
 	visit := func(r sensors.Record) bool {
 		acc.visit(r.Time.UnixNano(), r)
 		return true
 	}
-	if ts, ok := ss.(envdb.TierScanner); ok {
-		// Tiered store: replay raw samples only. Downsampled window records
-		// are aggregate stand-ins, not monitor ticks.
-		err = ts.EachRecordMergedTier(workers, func(r sensors.Record, tier envdb.Tier) bool {
-			if tier != envdb.TierRaw {
-				return true
-			}
-			return visit(r)
-		})
+	// Tiered store: replay raw samples only. Downsampled window records
+	// are aggregate stand-ins, not monitor ticks.
+	tierVisit := func(r sensors.Record, tier envdb.Tier) bool {
+		if tier != envdb.TierRaw {
+			return true
+		}
+		return visit(r)
+	}
+	if cts, ok := ss.(envdb.ContextTierScanner); ok {
+		err = cts.EachRecordMergedTierCtx(ctx, workers, tierVisit)
+	} else if ts, ok := ss.(envdb.TierScanner); ok {
+		err = ts.EachRecordMergedTier(workers, tierVisit)
 	} else {
 		err = ss.EachRecordMerged(workers, visit)
 	}
@@ -166,8 +191,12 @@ func replayMerged(ss envdb.ShardScanner, workers int, c *Collector) (maxTick int
 // record surface reads, so the resulting figures are bit-identical to the
 // record-at-a-time replay.
 func replayChunked(cs envdb.ChunkScanner, workers int, c *Collector) (maxTick int, err error) {
+	return replayChunkedCtx(context.Background(), cs, workers, c)
+}
+
+func replayChunkedCtx(ctx context.Context, cs envdb.ChunkScanner, workers int, c *Collector) (maxTick int, err error) {
 	acc := newTickAccum(c)
-	err = cs.EachChunkMerged(workers, func(ch *envdb.Chunk) bool {
+	visit := func(ch *envdb.Chunk) bool {
 		for i, k := range ch.Times {
 			if ch.Tiers[i] != envdb.TierRaw {
 				continue
@@ -175,7 +204,12 @@ func replayChunked(cs envdb.ChunkScanner, workers int, c *Collector) (maxTick in
 			acc.visit(k, ch.Record(i))
 		}
 		return true
-	})
+	}
+	if ccs, ok := cs.(envdb.ContextChunkScanner); ok {
+		err = ccs.EachChunkMergedCtx(ctx, workers, visit)
+	} else {
+		err = cs.EachChunkMerged(workers, visit)
+	}
 	if err != nil {
 		return acc.maxTick, err
 	}
@@ -224,10 +258,17 @@ var nanUtil = func() float64 {
 // domain, which makes the means exact and compaction-invariant: the same
 // value before and after the store's cold range is downsampled. They agree
 // with a full float-order replay to within summation-order rounding.
-func rackMeansPushdown(db envdb.Aggregator, m sensors.Metric, from, to time.Time) ([]float64, error) {
+func rackMeansPushdown(ctx context.Context, db envdb.Aggregator, m sensors.Metric, from, to time.Time) ([]float64, error) {
+	ca, traced := db.(envdb.ContextAggregator)
 	out := make([]float64, topology.NumRacks)
 	for i := range out {
-		aggs, err := db.Aggregate(topology.RackByIndex(i), m, from, to, 0)
+		var aggs []envdb.WindowAgg
+		var err error
+		if traced {
+			aggs, err = ca.AggregateCtx(ctx, topology.RackByIndex(i), m, from, to, 0)
+		} else {
+			aggs, err = db.Aggregate(topology.RackByIndex(i), m, from, to, 0)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -247,23 +288,30 @@ func rackMeansPushdown(db envdb.Aggregator, m sensors.Metric, from, to time.Time
 // summation order, and are identical before and after retention
 // compaction (the cold tier stores exact sums).
 func Fig7CoolantPushdown(db envdb.Aggregator) (RackCoolant, error) {
+	return Fig7CoolantPushdownCtx(context.Background(), db)
+}
+
+// Fig7CoolantPushdownCtx is Fig7CoolantPushdown under a caller trace: the
+// per-rack Aggregate sweep runs as children of an "analysis.fig7_pushdown"
+// span parented to ctx (when the store implements envdb.ContextAggregator).
+func Fig7CoolantPushdownCtx(ctx context.Context, db envdb.Aggregator) (RackCoolant, error) {
 	defer timed("fig7_rack_coolant_pushdown")()
-	_, span := obs.Span(context.Background(), "analysis.fig7_pushdown")
+	ctx, span := obs.Span(ctx, "analysis.fig7_pushdown")
 	defer span.End()
 	first, last, ok := db.Bounds()
 	if !ok {
 		return RackCoolant{}, nil
 	}
 	to := last.Add(time.Nanosecond)
-	flow, err := rackMeansPushdown(db, sensors.MetricFlow, first, to)
+	flow, err := rackMeansPushdown(ctx, db, sensors.MetricFlow, first, to)
 	if err != nil {
 		return RackCoolant{}, err
 	}
-	inlet, err := rackMeansPushdown(db, sensors.MetricInletTemp, first, to)
+	inlet, err := rackMeansPushdown(ctx, db, sensors.MetricInletTemp, first, to)
 	if err != nil {
 		return RackCoolant{}, err
 	}
-	outlet, err := rackMeansPushdown(db, sensors.MetricOutletTemp, first, to)
+	outlet, err := rackMeansPushdown(ctx, db, sensors.MetricOutletTemp, first, to)
 	if err != nil {
 		return RackCoolant{}, err
 	}
@@ -279,19 +327,25 @@ func Fig7CoolantPushdown(db envdb.Aggregator) (RackCoolant, error) {
 // pushdown; matches Fig9RackAmbient after a full replay of the same store
 // up to float summation order, and is compaction-invariant.
 func Fig9AmbientPushdown(db envdb.Aggregator) (RackAmbient, error) {
+	return Fig9AmbientPushdownCtx(context.Background(), db)
+}
+
+// Fig9AmbientPushdownCtx is Fig9AmbientPushdown under a caller trace; see
+// Fig7CoolantPushdownCtx.
+func Fig9AmbientPushdownCtx(ctx context.Context, db envdb.Aggregator) (RackAmbient, error) {
 	defer timed("fig9_rack_ambient_pushdown")()
-	_, span := obs.Span(context.Background(), "analysis.fig9_pushdown")
+	ctx, span := obs.Span(ctx, "analysis.fig9_pushdown")
 	defer span.End()
 	first, last, ok := db.Bounds()
 	if !ok {
 		return RackAmbient{}, nil
 	}
 	to := last.Add(time.Nanosecond)
-	temp, err := rackMeansPushdown(db, sensors.MetricDCTemperature, first, to)
+	temp, err := rackMeansPushdown(ctx, db, sensors.MetricDCTemperature, first, to)
 	if err != nil {
 		return RackAmbient{}, err
 	}
-	hum, err := rackMeansPushdown(db, sensors.MetricDCHumidity, first, to)
+	hum, err := rackMeansPushdown(ctx, db, sensors.MetricDCHumidity, first, to)
 	if err != nil {
 		return RackAmbient{}, err
 	}

@@ -24,7 +24,7 @@ type RackPowerUtil struct {
 
 // Fig6RackPowerUtil computes the Fig. 6 panels.
 func (c *Collector) Fig6RackPowerUtil() RackPowerUtil {
-	defer timed("fig6_rack_power_util")()
+	defer c.timed("fig6_rack_power_util")()
 	power := rackMeans(&c.rackPower)
 	for i := range power {
 		power[i] /= 1000 // W → kW
@@ -67,7 +67,7 @@ type RackCoolant struct {
 
 // Fig7RackCoolant computes the Fig. 7 panels.
 func (c *Collector) Fig7RackCoolant() RackCoolant {
-	defer timed("fig7_rack_coolant")()
+	defer c.timed("fig7_rack_coolant")()
 	flow := rackMeans(&c.rackFlow)
 	inlet := rackMeans(&c.rackInlet)
 	outlet := rackMeans(&c.rackOutlet)
@@ -100,7 +100,7 @@ type RackAmbient struct {
 
 // Fig9RackAmbient computes the Fig. 9 panels.
 func (c *Collector) Fig9RackAmbient() RackAmbient {
-	defer timed("fig9_rack_ambient")()
+	defer c.timed("fig9_rack_ambient")()
 	return ambientFromMeans(rackMeans(&c.rackTemp), rackMeans(&c.rackHum))
 }
 

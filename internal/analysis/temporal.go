@@ -28,7 +28,7 @@ func ymToYears(ym int) float64 {
 
 // Fig2YearlyTrend computes the Fig. 2 series and fits.
 func (c *Collector) Fig2YearlyTrend() YearlyTrend {
-	defer timed("fig2_yearly_trend")()
+	defer c.timed("fig2_yearly_trend")()
 	keys, power := c.powerByYM.Means()
 	_, util := c.utilByYM.Means()
 	years := make([]float64, len(keys))
@@ -66,7 +66,7 @@ type CoolantTimeline struct {
 
 // Fig3CoolantTimeline computes the Fig. 3 series.
 func (c *Collector) Fig3CoolantTimeline() CoolantTimeline {
-	defer timed("fig3_coolant_timeline")()
+	defer c.timed("fig3_coolant_timeline")()
 	keys, flow := c.flowTotByYM.Means()
 	_, inlet := c.inletByYM.Means()
 	_, outlet := c.outletByYM.Means()
@@ -116,7 +116,7 @@ type MonthlyProfile struct {
 // medians (as the paper plots); the half-year gains are computed from the
 // monthly means, which stay sensitive even when the machine saturates.
 func (c *Collector) Fig4MonthlyProfile() MonthlyProfile {
-	defer timed("fig4_monthly_profile")()
+	defer c.timed("fig4_monthly_profile")()
 	months, power := c.powerByMon.Medians()
 	_, util := c.utilByMon.Medians()
 	_, powerMean := c.powerByMon.Means()
@@ -183,7 +183,7 @@ type WeekdayProfile struct {
 
 // Fig5WeekdayProfile computes the Fig. 5 panels.
 func (c *Collector) Fig5WeekdayProfile() WeekdayProfile {
-	defer timed("fig5_weekday_profile")()
+	defer c.timed("fig5_weekday_profile")()
 	days, power := c.powerByDow.Means()
 	_, util := c.utilByDow.Means()
 	_, flow := c.flowByDow.Means()
@@ -233,7 +233,7 @@ type AmbientTimeline struct {
 
 // Fig8AmbientTimeline computes the Fig. 8 series.
 func (c *Collector) Fig8AmbientTimeline() AmbientTimeline {
-	defer timed("fig8_ambient_timeline")()
+	defer c.timed("fig8_ambient_timeline")()
 	keys, temp := c.tempByYM.Means()
 	_, hum := c.humByYM.Means()
 	out := AmbientTimeline{

@@ -1,0 +1,69 @@
+package envdb
+
+// Context-aware scan capabilities. The plain DB surface predates request
+// tracing; these optional interfaces let a caller thread a
+// context.Context — carrying trace spans and per-request scan counters —
+// through a scan without changing the base contract. Callers type-assert
+// and fall back to the plain methods, so every DB keeps working.
+//
+// ScanStats lives here (not in tsdb) so the telemetry server can read the
+// counters without importing the storage engine.
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"mira/internal/sensors"
+	"mira/internal/topology"
+)
+
+// ScanStats accumulates per-request scan work: rows delivered by the
+// merge, blocks decoded, and blocks skipped undecoded by zone-map
+// pruning. Counters are atomic — decode workers update them concurrently.
+type ScanStats struct {
+	Records       atomic.Int64
+	BlocksDecoded atomic.Int64
+	BlocksPruned  atomic.Int64
+}
+
+type scanStatsKey struct{}
+
+// ContextWithScanStats returns a context carrying s; scans started under
+// it add their work to the counters.
+func ContextWithScanStats(ctx context.Context, s *ScanStats) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, scanStatsKey{}, s)
+}
+
+// ScanStatsFrom returns the context's scan counters, or nil.
+func ScanStatsFrom(ctx context.Context) *ScanStats {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(scanStatsKey{}).(*ScanStats)
+	return s
+}
+
+// ContextTierScanner is a TierScanner whose merged scan accepts a
+// context for tracing and scan accounting.
+type ContextTierScanner interface {
+	EachRecordMergedTierCtx(ctx context.Context, workers int, f func(sensors.Record, Tier) bool) error
+}
+
+// ContextChunkScanner is a ChunkScanner whose chunked scan accepts a
+// context for tracing and scan accounting.
+type ContextChunkScanner interface {
+	EachChunkMergedCtx(ctx context.Context, workers int, f func(*Chunk) bool) error
+}
+
+// ContextAggregator is an Aggregator whose pushdown accepts a context
+// for tracing.
+type ContextAggregator interface {
+	AggregateCtx(ctx context.Context, rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]WindowAgg, error)
+}

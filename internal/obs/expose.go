@@ -45,19 +45,44 @@ func writeMetric(bw *bufio.Writer, f *family, labelValue string, m any) {
 	case *Histogram:
 		buckets := v.snapshotBuckets()
 		for i, b := range v.bounds {
-			writeSample(bw, f.name, "_bucket", f.labelKey, labelValue,
-				formatFloat(b), strconv.FormatUint(buckets[i], 10))
+			writeBucket(bw, f, labelValue, formatFloat(b), buckets[i], v.ex[i].Load())
 		}
-		writeSample(bw, f.name, "_bucket", f.labelKey, labelValue, "+Inf",
-			strconv.FormatUint(buckets[len(buckets)-1], 10))
+		writeBucket(bw, f, labelValue, "+Inf", buckets[len(buckets)-1],
+			v.ex[len(buckets)-1].Load())
 		writeSample(bw, f.name, "_sum", f.labelKey, labelValue, "", formatFloat(v.Sum()))
 		writeSample(bw, f.name, "_count", f.labelKey, labelValue, "", strconv.FormatUint(v.Count(), 10))
 	}
 }
 
+// writeBucket writes one _bucket line, appending an OpenMetrics-style
+// exemplar suffix when the bucket has captured one. Histograms that never
+// see ObserveExemplar render byte-identically to the plain format.
+func writeBucket(bw *bufio.Writer, f *family, labelValue, le string, count uint64, ex *exemplar) {
+	writeSampleNoNL(bw, f.name, "_bucket", f.labelKey, labelValue, le,
+		strconv.FormatUint(count, 10))
+	if ex != nil {
+		bw.WriteString(" # {")
+		bw.WriteString(exemplarKey)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(ex.trace))
+		bw.WriteString(`"} `)
+		bw.WriteString(formatFloat(ex.value))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatFloat(float64(ex.when.UnixNano())/1e9, 'f', 3, 64))
+	}
+	bw.WriteByte('\n')
+}
+
 // writeSample writes one exposition line. le is the bucket bound rendering
 // for _bucket lines ("" otherwise).
 func writeSample(bw *bufio.Writer, name, suffix, labelKey, labelValue, le, value string) {
+	writeSampleNoNL(bw, name, suffix, labelKey, labelValue, le, value)
+	bw.WriteByte('\n')
+}
+
+// writeSampleNoNL writes the sample without the trailing newline so
+// _bucket lines can carry an exemplar suffix.
+func writeSampleNoNL(bw *bufio.Writer, name, suffix, labelKey, labelValue, le, value string) {
 	bw.WriteString(name)
 	bw.WriteString(suffix)
 	if labelKey != "" || le != "" {
@@ -80,7 +105,6 @@ func writeSample(bw *bufio.Writer, name, suffix, labelKey, labelValue, le, value
 	}
 	bw.WriteByte(' ')
 	bw.WriteString(value)
-	bw.WriteByte('\n')
 }
 
 func formatFloat(v float64) string {

@@ -45,10 +45,28 @@ type Histogram struct {
 	counts  []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	ex      []atomic.Pointer[exemplar] // one slot per bucket, incl. +Inf
+}
+
+// exemplarKey is the single label allowed on exemplars. One fixed key and
+// one slot per bucket keeps exemplar cardinality bounded by construction:
+// at most len(bounds)+1 exemplars per histogram, each carrying one trace
+// ID. scripts/lint_metrics.go pins this.
+const exemplarKey = "trace_id"
+
+// exemplar links one histogram bucket to a captured trace.
+type exemplar struct {
+	value float64
+	trace string
+	when  time.Time
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		ex:     make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one sample.
@@ -56,6 +74,20 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
 	h.count.Add(1)
 	addFloatBits(&h.sumBits, v)
+}
+
+// ObserveExemplar records one sample and, when trace is non-empty,
+// remembers it as the bucket's exemplar — the `... # {trace_id="..."}`
+// suffix on the exposition's _bucket line. Last writer wins per bucket;
+// one atomic pointer swap over Observe's cost.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloatBits(&h.sumBits, v)
+	if trace != "" {
+		h.ex[i].Store(&exemplar{value: v, trace: trace, when: time.Now()})
+	}
 }
 
 // ObserveSince records the seconds elapsed since start — the idiom for

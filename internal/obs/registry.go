@@ -88,6 +88,8 @@ type Registry struct {
 
 	eventMu  sync.Mutex
 	eventLog interface{ Write(p []byte) (int, error) }
+
+	tr tracer
 }
 
 // NewRegistry creates an empty registry.

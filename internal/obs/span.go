@@ -6,14 +6,18 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"sync"
 	"time"
 )
 
 // Trace spans: a span is a named, timed region of work ("tsdb.flush",
 // "analysis.fig9"). Ending a span feeds the registry's
 // mira_span_duration_seconds histogram (labeled by span name) and, when an
-// event log is attached, appends one structured JSON line — enough to see
-// where a run's wall clock went without a tracing backend.
+// event log is attached, appends one structured JSON line. Every span also
+// belongs to a trace (see trace.go): it carries a 64-bit trace/span ID
+// pair, links to its parent — a local span in the context, or a remote one
+// extracted from an X-Mira-Trace header — and, when its trace is retained,
+// lands in the /debug/traces ring.
 
 // spanNameRE keeps span names label-safe and grep-able.
 var spanNameRE = regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
@@ -22,10 +26,16 @@ type spanCtxKey struct{}
 
 // ActiveSpan is an in-flight span; call End exactly once.
 type ActiveSpan struct {
-	reg    *Registry
-	name   string
-	parent string
-	start  time.Time
+	reg      *Registry
+	name     string
+	parent   string
+	start    time.Time
+	sc       SpanContext
+	parentID SpanID
+	tracked  bool // tracer accepted spanStarted; End must report back
+
+	attrMu sync.Mutex
+	attrs  [][2]string
 }
 
 // Span starts a span on the default registry. The returned context carries
@@ -43,10 +53,41 @@ func (r *Registry) Span(ctx context.Context, name string) (context.Context, *Act
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if parent, ok := ctx.Value(spanCtxKey{}).(*ActiveSpan); ok {
+	if parent, ok := ctx.Value(spanCtxKey{}).(*ActiveSpan); ok && parent != nil {
 		s.parent = parent.name
+		s.sc.Trace = parent.sc.Trace
+		s.sc.Sampled = parent.sc.Sampled
+		s.parentID = parent.sc.Span
+	} else if rsc, ok := ctx.Value(remoteCtxKey{}).(SpanContext); ok && rsc.Valid() {
+		s.sc.Trace = rsc.Trace
+		s.sc.Sampled = rsc.Sampled
+		s.parentID = rsc.Span
+	} else {
+		s.sc.Trace = TraceID(newID())
+		s.sc.Sampled = r.tr.sampleHead(s.sc.Trace)
 	}
+	s.sc.Span = SpanID(newID())
+	s.tracked = r.tr.spanStarted(s.sc.Trace, s.sc.Sampled)
 	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// Context returns the span's propagation context; zero for a nil span.
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr attaches a key/value annotation shown in the /debug/traces tree
+// (e.g. rows decoded, scan mode). Nil-safe; last write wins on render.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrMu.Lock()
+	s.attrs = append(s.attrs, [2]string{key, value})
+	s.attrMu.Unlock()
 }
 
 // End records the span's duration. Safe to call on a nil span (a no-op), so
@@ -58,6 +99,24 @@ func (s *ActiveSpan) End() {
 	elapsed := time.Since(s.start)
 	s.reg.spanDurations().With(s.name).Observe(elapsed.Seconds())
 	s.reg.logSpanEvent(s, elapsed)
+	if !s.tracked {
+		return
+	}
+	s.attrMu.Lock()
+	attrs := s.attrs
+	s.attrs = nil
+	s.attrMu.Unlock()
+	finalized, kept := s.reg.tr.spanEnded(s.sc.Trace, SpanRecord{
+		Name:     s.name,
+		ID:       s.sc.Span,
+		Parent:   s.parentID,
+		Start:    s.start,
+		Duration: elapsed,
+		Attrs:    attrs,
+	})
+	if finalized {
+		s.reg.traceFinalized(kept)
+	}
 }
 
 // spanDurations lazily registers the span histogram family.
@@ -84,6 +143,8 @@ type spanEvent struct {
 	Span    string  `json:"span"`
 	Parent  string  `json:"parent,omitempty"`
 	Seconds float64 `json:"seconds"`
+	Trace   string  `json:"trace,omitempty"`
+	SpanID  string  `json:"span_id,omitempty"`
 }
 
 func (r *Registry) logSpanEvent(s *ActiveSpan, elapsed time.Duration) {
@@ -97,6 +158,8 @@ func (r *Registry) logSpanEvent(s *ActiveSpan, elapsed time.Duration) {
 		Span:    s.name,
 		Parent:  s.parent,
 		Seconds: elapsed.Seconds(),
+		Trace:   s.sc.Trace.String(),
+		SpanID:  s.sc.Span.String(),
 	})
 	if err != nil {
 		return // a span name is always marshalable; defensive only

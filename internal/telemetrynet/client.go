@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mira/internal/envdb"
+	"mira/internal/obs"
 	"mira/internal/sensors"
 	"mira/internal/topology"
 )
@@ -89,9 +90,11 @@ type Client struct {
 }
 
 var (
-	_ envdb.DB          = (*Client)(nil)
-	_ envdb.Aggregator  = (*Client)(nil)
-	_ envdb.TierScanner = (*Client)(nil)
+	_ envdb.DB                 = (*Client)(nil)
+	_ envdb.Aggregator         = (*Client)(nil)
+	_ envdb.TierScanner        = (*Client)(nil)
+	_ envdb.ContextTierScanner = (*Client)(nil)
+	_ envdb.ContextAggregator  = (*Client)(nil)
 )
 
 // NewClient creates a client for the telemetry server at baseURL (e.g.
@@ -162,6 +165,11 @@ func (c *Client) flushLocked() error {
 	if len(c.buf) == 0 {
 		return nil
 	}
+	// One span per push, covering every retry; the span's trace rides the
+	// X-Mira-Trace header so the server's net.ingest handler links to it.
+	ctx, span := obs.Span(c.ctx, "net.client.ingest")
+	defer span.End()
+	span.SetAttr("rows", strconv.Itoa(len(c.buf)))
 	c.seq++
 	frame := encodeIngestFrame(nil, c.id, c.seq, c.buf)
 	n := len(c.buf)
@@ -187,12 +195,13 @@ func (c *Client) flushLocked() error {
 			case <-timer.C:
 			}
 		}
-		req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.base+"/v1/ingest", bytes.NewReader(frame))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/ingest", bytes.NewReader(frame))
 		if err != nil {
 			metClientErrors.Inc()
 			return fmt.Errorf("telemetrynet: push: %w", err)
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
+		injectTrace(req, ctx)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if c.ctx.Err() != nil {
@@ -258,13 +267,28 @@ func unavailable(err error) bool {
 	return ok && (he.code == http.StatusNotImplemented || he.code == http.StatusNotFound)
 }
 
-// get issues one API request; non-200 responses become *httpError.
-func (c *Client) get(path string, q url.Values) (io.ReadCloser, error) {
+// injectTrace stamps the outgoing request with the context's trace, so
+// the server joins the caller's trace instead of starting a fresh root.
+func injectTrace(req *http.Request, ctx context.Context) {
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		req.Header.Set(obs.TraceHeader, sc.HeaderValue())
+	}
+}
+
+// get issues one API request under ctx; non-200 responses become
+// *httpError. The context's active span is propagated on the wire.
+func (c *Client) get(ctx context.Context, path string, q url.Values) (io.ReadCloser, error) {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := c.hc.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		metClientErrors.Inc()
+		return nil, fmt.Errorf("telemetrynet: %s: %w", path, err)
+	}
+	injectTrace(req, ctx)
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		metClientErrors.Inc()
 		return nil, fmt.Errorf("telemetrynet: %s: %w", path, err)
@@ -288,8 +312,12 @@ func rangeParams(rack topology.RackID, from, to time.Time) url.Values {
 
 // Info fetches the server's store summary — also the cheap connectivity
 // pre-flight before using the error-free read surface.
-func (c *Client) Info() (Info, error) {
-	body, err := c.get("/v1/info", nil)
+func (c *Client) Info() (Info, error) { return c.infoCtx(c.ctx) }
+
+func (c *Client) infoCtx(ctx context.Context) (Info, error) {
+	ctx, span := obs.Span(ctx, "net.client.info")
+	defer span.End()
+	body, err := c.get(ctx, "/v1/info", nil)
 	if err != nil {
 		return Info{}, err
 	}
@@ -325,8 +353,10 @@ func (c *Client) Bounds() (first, last time.Time, ok bool) {
 	return time.Unix(0, info.FirstUnixNano).In(loc), time.Unix(0, info.LastUnixNano).In(loc), true
 }
 
-func (c *Client) queryErr(rack topology.RackID, from, to time.Time) ([]sensors.Record, error) {
-	body, err := c.get("/v1/query", rangeParams(rack, from, to))
+func (c *Client) queryErr(ctx context.Context, rack topology.RackID, from, to time.Time) ([]sensors.Record, error) {
+	ctx, span := obs.Span(ctx, "net.client.query")
+	defer span.End()
+	body, err := c.get(ctx, "/v1/query", rangeParams(rack, from, to))
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +374,7 @@ func (c *Client) queryErr(rack topology.RackID, from, to time.Time) ([]sensors.R
 // Query returns one rack's records in [from, to). Panics on a failed
 // request.
 func (c *Client) Query(rack topology.RackID, from, to time.Time) []sensors.Record {
-	out, err := c.queryErr(rack, from, to)
+	out, err := c.queryErr(c.ctx, rack, from, to)
 	if err != nil {
 		panic(err)
 	}
@@ -354,9 +384,11 @@ func (c *Client) Query(rack topology.RackID, from, to time.Time) []sensors.Recor
 // Series extracts one metric for one rack over [from, to). Panics on a
 // failed request.
 func (c *Client) Series(rack topology.RackID, m sensors.Metric, from, to time.Time) ([]time.Time, []float64) {
+	ctx, span := obs.Span(c.ctx, "net.client.series")
+	defer span.End()
 	q := rangeParams(rack, from, to)
 	q.Set("metric", strconv.Itoa(int(m)))
-	body, err := c.get("/v1/series", q)
+	body, err := c.get(ctx, "/v1/series", q)
 	if err != nil {
 		panic(err)
 	}
@@ -378,7 +410,7 @@ func (c *Client) EachRecord(f func(sensors.Record)) {
 // returns false (the remaining stream is abandoned, not downloaded).
 // Panics on a failed request.
 func (c *Client) EachRecordUntil(f func(sensors.Record) bool) {
-	err := c.scan(url.Values{"order": {"rack"}}, func(r sensors.Record, _ byte) bool { return f(r) })
+	err := c.scan(c.ctx, url.Values{"order": {"rack"}}, func(r sensors.Record, _ byte) bool { return f(r) })
 	if err == nil {
 		return
 	}
@@ -392,13 +424,20 @@ func (c *Client) EachRecordUntil(f func(sensors.Record) bool) {
 	panic(err)
 }
 
-func (c *Client) scan(q url.Values, f func(sensors.Record, byte) bool) error {
-	body, err := c.get("/v1/scan", q)
+func (c *Client) scan(ctx context.Context, q url.Values, f func(sensors.Record, byte) bool) error {
+	ctx, span := obs.Span(ctx, "net.client.scan")
+	defer span.End()
+	body, err := c.get(ctx, "/v1/scan", q)
 	if err != nil {
 		return err
 	}
 	defer body.Close()
-	return readChunkStream(body, f)
+	rows := 0
+	defer func() { span.SetAttr("rows", strconv.Itoa(rows)) }()
+	return readChunkStream(body, func(r sensors.Record, tier byte) bool {
+		rows++
+		return f(r, tier)
+	})
 }
 
 func (c *Client) fallbackRackScan(f func(sensors.Record) bool) error {
@@ -411,7 +450,7 @@ func (c *Client) fallbackRackScan(f func(sensors.Record) bool) error {
 	}
 	to := last.Add(time.Nanosecond)
 	for i := 0; i < topology.NumRacks; i++ {
-		recs, err := c.queryErr(topology.RackByIndex(i), first, to)
+		recs, err := c.queryErr(c.ctx, topology.RackByIndex(i), first, to)
 		if err != nil {
 			return err
 		}
@@ -449,11 +488,18 @@ func (c *Client) EachRecordMerged(workers int, f func(sensors.Record) bool) erro
 // merged client-side (O(trace) memory, every record TierRaw) — the
 // graceful-degradation contract of the optional scanner capabilities.
 func (c *Client) EachRecordMergedTier(workers int, f func(sensors.Record, envdb.Tier) bool) error {
+	return c.EachRecordMergedTierCtx(c.ctx, workers, f)
+}
+
+// EachRecordMergedTierCtx implements envdb.ContextTierScanner over the
+// wire: the scan request carries ctx's trace in X-Mira-Trace, so the
+// server-side handler and tsdb scan spans join the caller's trace.
+func (c *Client) EachRecordMergedTierCtx(ctx context.Context, workers int, f func(sensors.Record, envdb.Tier) bool) error {
 	q := url.Values{"order": {"time"}, "tiers": {"1"}}
 	if workers > 0 {
 		q.Set("workers", strconv.Itoa(workers))
 	}
-	err := c.scan(q, func(r sensors.Record, tier byte) bool { return f(r, envdb.Tier(tier)) })
+	err := c.scan(ctx, q, func(r sensors.Record, tier byte) bool { return f(r, envdb.Tier(tier)) })
 	if err != nil && unavailable(err) {
 		return c.fallbackMergedTier(f)
 	}
@@ -490,10 +536,17 @@ func (c *Client) fallbackMergedTier(f func(sensors.Record, envdb.Tier) bool) err
 // client degrades to aggregating a Series fetch locally (float-order
 // accumulation, no integer-domain exactness).
 func (c *Client) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]envdb.WindowAgg, error) {
+	return c.AggregateCtx(c.ctx, rack, m, from, to, window)
+}
+
+// AggregateCtx implements envdb.ContextAggregator over the wire.
+func (c *Client) AggregateCtx(ctx context.Context, rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]envdb.WindowAgg, error) {
+	ctx, span := obs.Span(ctx, "net.client.aggregate")
+	defer span.End()
 	q := rangeParams(rack, from, to)
 	q.Set("metric", strconv.Itoa(int(m)))
 	q.Set("window", strconv.FormatInt(int64(window), 10))
-	body, err := c.get("/v1/aggregate", q)
+	body, err := c.get(ctx, "/v1/aggregate", q)
 	if err != nil {
 		if unavailable(err) {
 			return c.aggregateLocal(rack, m, from, to, window)

@@ -22,6 +22,8 @@ var (
 		"latency of the telemetry API, labeled by endpoint", "endpoint", nil)
 	metScanRecordsSent = obs.NewCounter("mira_net_scan_records_sent_total",
 		"records streamed to remote scan and query clients")
+	metSlowQueries = obs.NewCounterVec("mira_net_slow_queries_total",
+		"requests at or over the configured slow-query threshold, labeled by endpoint", "endpoint")
 
 	// Client side.
 	metClientPushBatches = obs.NewCounter("mira_net_client_push_batches_total",

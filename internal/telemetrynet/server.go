@@ -1,10 +1,12 @@
 package telemetrynet
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -21,6 +23,15 @@ type ServerOptions struct {
 	// ScanWorkers bounds the decode workers behind streaming scan requests
 	// (<= 0 selects GOMAXPROCS); forwarded to the store's merged scan.
 	ScanWorkers int
+
+	// SlowQuery enables the slow-query log: any request taking at least
+	// this long emits one JSON line to SlowLog with the request's trace
+	// ID, query shape, and scan counters. 0 disables.
+	SlowQuery time.Duration
+
+	// SlowLog receives slow-query lines; nil selects os.Stderr. Writes
+	// are serialized by the server.
+	SlowLog io.Writer
 }
 
 // Server exposes an environmental database over HTTP: a batched,
@@ -41,6 +52,8 @@ type Server struct {
 	// dropped as a duplicate instead of double-appending records.
 	mu   sync.Mutex
 	seen map[uint64]uint64
+
+	slowMu sync.Mutex // serializes slow-query log lines
 }
 
 // NewServer wraps db in a telemetry service.
@@ -50,12 +63,12 @@ func NewServer(db envdb.DB, opts ServerOptions) *Server {
 
 // Mount registers the telemetry API on mux under /v1/.
 func (s *Server) Mount(mux *http.ServeMux) {
-	mux.HandleFunc("/v1/ingest", s.timed("ingest", s.handleIngest))
-	mux.HandleFunc("/v1/query", s.timed("query", s.handleQuery))
-	mux.HandleFunc("/v1/series", s.timed("series", s.handleSeries))
-	mux.HandleFunc("/v1/aggregate", s.timed("aggregate", s.handleAggregate))
-	mux.HandleFunc("/v1/scan", s.timed("scan", s.handleScan))
-	mux.HandleFunc("/v1/info", s.timed("info", s.handleInfo))
+	mux.HandleFunc("/v1/ingest", s.traced("ingest", "net.ingest", s.handleIngest))
+	mux.HandleFunc("/v1/query", s.traced("query", "net.query", s.handleQuery))
+	mux.HandleFunc("/v1/series", s.traced("series", "net.series", s.handleSeries))
+	mux.HandleFunc("/v1/aggregate", s.traced("aggregate", "net.aggregate", s.handleAggregate))
+	mux.HandleFunc("/v1/scan", s.traced("scan", "net.scan", s.handleScan))
+	mux.HandleFunc("/v1/info", s.traced("info", "net.info", s.handleInfo))
 }
 
 // Handler returns a standalone handler serving only the telemetry API
@@ -66,12 +79,119 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+// queryShape accumulates the request's shape fields — endpoint, time
+// range, rack, tier/order/workers, rows — for the slow-query log and the
+// handler span's attributes. Handlers fill it via shapeFrom(ctx).
+type queryShape struct {
+	mu     sync.Mutex
+	fields [][2]string
+}
+
+type shapeKey struct{}
+
+func (q *queryShape) set(k, v string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.fields {
+		if q.fields[i][0] == k {
+			q.fields[i][1] = v
+			return
+		}
+	}
+	q.fields = append(q.fields, [2]string{k, v})
+}
+
+func (q *queryShape) snapshot() map[string]string {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.fields) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(q.fields))
+	for _, kv := range q.fields {
+		out[kv[0]] = kv[1]
+	}
+	return out
+}
+
+func shapeFrom(ctx context.Context) *queryShape {
+	q, _ := ctx.Value(shapeKey{}).(*queryShape)
+	return q
+}
+
+// traced wraps an endpoint handler with the request-scoped observability
+// stack: extract X-Mira-Trace (malformed values are ignored — the request
+// starts a fresh root trace), start the handler span, thread per-request
+// scan counters through the context, record the latency histogram with
+// the trace ID as its bucket exemplar, and emit a slow-query line when
+// the request crosses the configured threshold.
+func (s *Server) traced(endpoint, spanName string, h http.HandlerFunc) http.HandlerFunc {
 	hist := metRequestDur.With(endpoint)
 	return func(w http.ResponseWriter, req *http.Request) {
-		defer hist.ObserveSince(time.Now())
-		h(w, req)
+		ctx := req.Context()
+		if sc, ok := obs.ParseTraceHeader(req.Header.Get(obs.TraceHeader)); ok {
+			ctx = obs.ContextWithRemoteSpan(ctx, sc)
+		}
+		stats := new(envdb.ScanStats)
+		ctx = envdb.ContextWithScanStats(ctx, stats)
+		shape := &queryShape{}
+		ctx = context.WithValue(ctx, shapeKey{}, shape)
+		ctx, span := obs.Span(ctx, spanName)
+		start := time.Now()
+		h(w, req.WithContext(ctx))
+		elapsed := time.Since(start)
+		for k, v := range shape.snapshot() {
+			span.SetAttr(k, v)
+		}
+		trace := span.Context().Trace
+		span.End()
+		hist.ObserveExemplar(elapsed.Seconds(), trace.String())
+		if s.opts.SlowQuery > 0 && elapsed >= s.opts.SlowQuery {
+			s.logSlowQuery(endpoint, trace, elapsed, shape, stats)
+		}
 	}
+}
+
+// slowQueryLine is the JSON schema of one slow-query log line.
+type slowQueryLine struct {
+	TS            string            `json:"ts"`
+	Trace         string            `json:"trace"`
+	Endpoint      string            `json:"endpoint"`
+	Seconds       float64           `json:"seconds"`
+	Shape         map[string]string `json:"shape,omitempty"`
+	Records       int64             `json:"records"`
+	BlocksDecoded int64             `json:"blocks_decoded"`
+	BlocksPruned  int64             `json:"blocks_pruned"`
+}
+
+func (s *Server) logSlowQuery(endpoint string, trace obs.TraceID, elapsed time.Duration, shape *queryShape, stats *envdb.ScanStats) {
+	metSlowQueries.With(endpoint).Inc()
+	line, err := json.Marshal(slowQueryLine{
+		TS:            time.Now().UTC().Format(time.RFC3339Nano),
+		Trace:         trace.String(),
+		Endpoint:      endpoint,
+		Seconds:       elapsed.Seconds(),
+		Shape:         shape.snapshot(),
+		Records:       stats.Records.Load(),
+		BlocksDecoded: stats.BlocksDecoded.Load(),
+		BlocksPruned:  stats.BlocksPruned.Load(),
+	})
+	if err != nil {
+		return // all fields are marshalable; defensive only
+	}
+	out := s.opts.SlowLog
+	if out == nil {
+		out = os.Stderr
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	out.Write(append(line, '\n'))
 }
 
 // IngestResult is the JSON body of a successful ingest response.
@@ -104,8 +224,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	_, span := obs.Span(req.Context(), "net.ingest")
-	defer span.End()
+	shape := shapeFrom(req.Context())
 	var res IngestResult
 	for {
 		fr, err := decodeIngestFrame(req.Body)
@@ -134,6 +253,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		res.AcceptedBatches++
 		res.AcceptedRecords += len(fr.Records)
 	}
+	shape.set("batches", strconv.Itoa(res.AcceptedBatches))
+	shape.set("rows", strconv.Itoa(res.AcceptedRecords))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
 }
@@ -183,13 +304,23 @@ func (s *Server) zoneOff() int32 {
 	return off
 }
 
+// setRangeShape records the shared rack/time-range query shape.
+func setRangeShape(shape *queryShape, rack topology.RackID, from, to time.Time) {
+	shape.set("rack", rack.String())
+	shape.set("from", from.UTC().Format(time.RFC3339))
+	shape.set("to", to.UTC().Format(time.RFC3339))
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	rack, from, to, err := queryParams(req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	shape := shapeFrom(req.Context())
+	setRangeShape(shape, rack, from, to)
 	recs := s.db.Query(rack, from, to)
+	shape.set("rows", strconv.Itoa(len(recs)))
 	cw := newChunkWriter(w, false, s.zoneOff())
 	for _, r := range recs {
 		if err := cw.add(r, 0); err != nil {
@@ -212,7 +343,11 @@ func (s *Server) handleSeries(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	shape := shapeFrom(req.Context())
+	setRangeShape(shape, rack, from, to)
+	shape.set("metric", m.String())
 	times, vals := s.db.Series(rack, m, from, to)
+	shape.set("rows", strconv.Itoa(len(times)))
 	encodeSeries(w, s.zoneOff(), times, vals)
 }
 
@@ -237,9 +372,16 @@ func (s *Server) handleAggregate(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, fmt.Sprintf("bad window %q", req.URL.Query().Get("window")), http.StatusBadRequest)
 		return
 	}
-	_, span := obs.Span(req.Context(), "net.aggregate")
-	defer span.End()
-	aggs, err := agg.Aggregate(rack, m, from, to, time.Duration(windowN))
+	shape := shapeFrom(req.Context())
+	setRangeShape(shape, rack, from, to)
+	shape.set("metric", m.String())
+	shape.set("window", time.Duration(windowN).String())
+	var aggs []envdb.WindowAgg
+	if ca, ok := s.db.(envdb.ContextAggregator); ok {
+		aggs, err = ca.AggregateCtx(req.Context(), rack, m, from, to, time.Duration(windowN))
+	} else {
+		aggs, err = agg.Aggregate(rack, m, from, to, time.Duration(windowN))
+	}
 	if err != nil {
 		// The store rejected the shape of the query (e.g. too many
 		// windows): the client's error, not the server's.
@@ -279,8 +421,10 @@ func (s *Server) handleScan(w http.ResponseWriter, req *http.Request) {
 			workers = n
 		}
 	}
-	_, span := obs.Span(req.Context(), "net.scan")
-	defer span.End()
+	shape := shapeFrom(req.Context())
+	shape.set("order", order)
+	shape.set("tiers", strconv.FormatBool(tiered))
+	shape.set("workers", strconv.Itoa(workers))
 	cw := newChunkWriter(w, tiered, s.zoneOff())
 	sent := 0
 	emit := func(r sensors.Record, tier envdb.Tier) bool {
@@ -295,11 +439,12 @@ func (s *Server) handleScan(w http.ResponseWriter, req *http.Request) {
 	case "rack":
 		s.db.EachRecordUntil(func(r sensors.Record) bool { return emit(r, envdb.TierRaw) })
 	case "time":
-		err = s.mergedScan(workers, emit)
+		err = s.mergedScan(req.Context(), workers, emit)
 	default:
 		http.Error(w, fmt.Sprintf("bad order %q", order), http.StatusBadRequest)
 		return
 	}
+	shape.set("rows", strconv.Itoa(sent))
 	if err != nil {
 		// Mid-stream failure: the chunk stream just stops without its
 		// terminator, which the client decodes as a truncated stream.
@@ -311,9 +456,13 @@ func (s *Server) handleScan(w http.ResponseWriter, req *http.Request) {
 }
 
 // mergedScan drives the store's best global-time-order capability:
-// TierScanner, then ShardScanner, then a buffered sort over EachRecord for
-// minimal stores.
-func (s *Server) mergedScan(workers int, f func(sensors.Record, envdb.Tier) bool) error {
+// TierScanner (context-aware when available, so the scan joins the
+// request's trace), then ShardScanner, then a buffered sort over
+// EachRecord for minimal stores.
+func (s *Server) mergedScan(ctx context.Context, workers int, f func(sensors.Record, envdb.Tier) bool) error {
+	if cts, ok := s.db.(envdb.ContextTierScanner); ok {
+		return cts.EachRecordMergedTierCtx(ctx, workers, f)
+	}
 	if ts, ok := s.db.(envdb.TierScanner); ok {
 		return ts.EachRecordMergedTier(workers, f)
 	}

@@ -2,6 +2,7 @@ package telemetrynet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -385,7 +386,7 @@ func TestConcurrentIngestQuery(t *testing.T) {
 					return
 				}
 				rack := topology.RackByIndex((g*11 + i) % topology.NumRacks)
-				if _, err := readClient.queryErr(rack, start, to); err != nil {
+				if _, err := readClient.queryErr(context.Background(), rack, start, to); err != nil {
 					errs <- fmt.Errorf("query: %w", err)
 					return
 				}

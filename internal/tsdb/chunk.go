@@ -16,6 +16,7 @@ package tsdb
 import (
 	"context"
 	"math"
+	"strconv"
 	"time"
 
 	"mira/internal/envdb"
@@ -28,7 +29,10 @@ import (
 // by up to one round.
 const chunkTargetRows = 4096
 
-var _ envdb.ChunkScanner = (*Store)(nil)
+var (
+	_ envdb.ChunkScanner        = (*Store)(nil)
+	_ envdb.ContextChunkScanner = (*Store)(nil)
+)
 
 // EachChunkMerged implements envdb.ChunkScanner: the merged scan of
 // EachRecordMerged delivered as reused columnar chunks. workers bounds the
@@ -36,7 +40,14 @@ var _ envdb.ChunkScanner = (*Store)(nil)
 // single-threaded, so row order is deterministic and equal to the record
 // surface's visit order.
 func (s *Store) EachChunkMerged(workers int, f func(*envdb.Chunk) bool) error {
-	return s.EachChunkMergedWhere(workers, nil, f)
+	return s.EachChunkMergedWhereCtx(context.Background(), workers, nil, f)
+}
+
+// EachChunkMergedCtx implements envdb.ContextChunkScanner: the chunked
+// scan as a child span of ctx's trace, with worker-side block decodes
+// linked under it and the request's scan counters updated.
+func (s *Store) EachChunkMergedCtx(ctx context.Context, workers int, f func(*envdb.Chunk) bool) error {
+	return s.EachChunkMergedWhereCtx(ctx, workers, nil, f)
 }
 
 // EachChunkMergedWhere is EachChunkMerged with zone-map pruning: sealed
@@ -44,10 +55,26 @@ func (s *Store) EachChunkMerged(workers int, f func(*envdb.Chunk) bool) error {
 // ScanShardsWhere). Rows from unpruned blocks still appear even when they
 // individually fail the predicate — zones prune blocks, not rows.
 func (s *Store) EachChunkMergedWhere(workers int, pred BlockPredicate, f func(*envdb.Chunk) bool) error {
-	_, span := obs.Span(context.Background(), "tsdb.scan_chunked")
+	return s.EachChunkMergedWhereCtx(context.Background(), workers, pred, f)
+}
+
+// EachChunkMergedWhereCtx combines EachChunkMergedCtx and
+// EachChunkMergedWhere.
+func (s *Store) EachChunkMergedWhereCtx(ctx context.Context, workers int, pred BlockPredicate, f func(*envdb.Chunk) bool) error {
+	ctx, span := obs.Span(ctx, "tsdb.scan_chunked")
 	defer span.End()
+	st := envdb.ScanStatsFrom(ctx)
+	if st == nil {
+		st = new(envdb.ScanStats)
+		ctx = envdb.ContextWithScanStats(ctx, st)
+	}
+	defer func() {
+		span.SetAttr("rows", strconv.FormatInt(st.Records.Load(), 10))
+		span.SetAttr("blocks", strconv.FormatInt(st.BlocksDecoded.Load(), 10))
+		span.SetAttr("pruned", strconv.FormatInt(st.BlocksPruned.Load(), 10))
+	}()
 	defer metQueryDur.With(opScanChunked).ObserveSince(time.Now())
-	streams := s.ScanShardsWhere(time.Unix(0, minTime), time.Unix(0, maxTime), workers, pred)
+	streams := s.ScanShardsWhereCtx(ctx, time.Unix(0, minTime), time.Unix(0, maxTime), workers, pred)
 	cm := chunkMerger{streams: streams}
 	if len(streams) > 0 {
 		cm.pool = streams[0].pool
@@ -405,6 +432,9 @@ func (cm *chunkMerger) close() {
 	}
 	cm.closed = true
 	metScanRecords.Add(cm.merged)
+	if cm.pool != nil && cm.pool.stats != nil {
+		cm.pool.stats.Records.Add(int64(cm.merged))
+	}
 	cm.merged = 0
 	if cm.pool != nil {
 		cm.pool.close()

@@ -1,11 +1,14 @@
 package tsdb
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"mira/internal/envdb"
+	"mira/internal/obs"
 	"mira/internal/sensors"
 	"mira/internal/topology"
 	"mira/internal/units"
@@ -165,6 +168,26 @@ const MaxAggregateWindows = 4 << 20
 // aggregation window containing its start.
 func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]WindowAgg, error) {
 	s.init()
+	return s.aggregate(rack, m, from, to, window)
+}
+
+// AggregateCtx implements envdb.ContextAggregator: Aggregate as a child
+// span of ctx's trace. The plain Aggregate deliberately starts no span —
+// it runs on untraced hot paths (pushdown sweeps) where a root trace per
+// call would be noise.
+func (s *Store) AggregateCtx(ctx context.Context, rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]WindowAgg, error) {
+	s.init()
+	_, span := obs.Span(ctx, "tsdb.aggregate")
+	defer span.End()
+	aggs, err := s.aggregate(rack, m, from, to, window)
+	if err == nil {
+		span.SetAttr("rack", rack.String())
+		span.SetAttr("windows", strconv.Itoa(len(aggs)))
+	}
+	return aggs, err
+}
+
+func (s *Store) aggregate(rack topology.RackID, m sensors.Metric, from, to time.Time, window time.Duration) ([]WindowAgg, error) {
 	defer metQueryDur.With(opAggregate).ObserveSince(time.Now())
 	fromN, toN := from.UnixNano(), to.UnixNano()
 	if toN <= fromN {
@@ -329,4 +352,7 @@ func (s *Store) Aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 	return out, nil
 }
 
-var _ envdb.Aggregator = (*Store)(nil)
+var (
+	_ envdb.Aggregator        = (*Store)(nil)
+	_ envdb.ContextAggregator = (*Store)(nil)
+)

@@ -20,6 +20,7 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -120,13 +121,26 @@ func (st *ShardStream) decodeStep() scanRun {
 		if st.pred != nil {
 			if sb := bv.sealed; sb != nil && sb.hasZones && !st.pred(&sb.zones) {
 				metScanPruned.Inc()
+				if st.pool.stats != nil {
+					st.pool.stats.BlocksPruned.Add(1)
+				}
 				continue
 			}
 		}
 		start := time.Now()
+		// Worker-side child span: pool.ctx carries the scan's parent span
+		// (threaded through ScanShardsCtx), so block decodes running on
+		// pool goroutines still link into the request's trace. Untraced
+		// scans skip the span entirely — no root-trace pollution from the
+		// auditor or plain local replays.
+		var sp *obs.ActiveSpan
+		if st.pool.traced {
+			_, sp = obs.Span(st.pool.ctx, "tsdb.scan_block")
+		}
 		ar := &st.arenas[st.runSeq&1]
 		times, err := bv.timestampsArena(ar.times)
 		if err != nil {
+			sp.End()
 			return scanRun{err: err, last: true}
 		}
 		if bv.sealed != nil {
@@ -134,6 +148,7 @@ func (st *ShardStream) decodeStep() scanRun {
 		}
 		lo, hi := searchRange(times, st.fromN, st.toN)
 		if lo >= hi {
+			sp.End()
 			continue
 		}
 		run := scanRun{times: times, lo: lo, hi: hi}
@@ -143,6 +158,7 @@ func (st *ShardStream) decodeStep() scanRun {
 		for m := range run.cols {
 			col, scratch, err := bv.channelArena(sensors.Metric(m), ar.cols[m], ar.ints)
 			if err != nil {
+				sp.End()
 				return scanRun{err: err, last: true}
 			}
 			run.cols[m] = col
@@ -151,7 +167,12 @@ func (st *ShardStream) decodeStep() scanRun {
 			}
 		}
 		metScanBlocks.Inc()
+		if st.pool.stats != nil {
+			st.pool.stats.BlocksDecoded.Add(1)
+		}
 		metScanDecodeDur.ObserveSince(start)
+		sp.SetAttr("rows", strconv.Itoa(hi-lo))
+		sp.End()
 		st.nextBlock++
 		st.runSeq++
 		return run
@@ -192,6 +213,14 @@ type scanPool struct {
 	wg      sync.WaitGroup
 	once    sync.Once
 	streams []*ShardStream // for arena recycling at close
+
+	// Request-scoped observability, set before the first request is armed
+	// (the channel send publishes the fields to the workers): the scan's
+	// context (carrying the parent span for worker-side child spans), its
+	// per-request counters, and whether the context is traced at all.
+	ctx    context.Context
+	stats  *envdb.ScanStats
+	traced bool
 }
 
 func newScanPool(workers, streams int) *scanPool {
@@ -267,7 +296,14 @@ func normWorkers(workers, streams int) int {
 // streams must be consumed — and eventually Closed — through
 // MergeByTime; most callers want EachRecordMerged instead.
 func (s *Store) ScanShards(from, to time.Time, workers int) []*ShardStream {
-	return s.ScanShardsWhere(from, to, workers, nil)
+	return s.ScanShardsWhereCtx(context.Background(), from, to, workers, nil)
+}
+
+// ScanShardsCtx is ScanShards threading a request context into the worker
+// pool: block decodes become child spans of the context's active span and
+// scan counters (envdb.ScanStatsFrom) accumulate the request's work.
+func (s *Store) ScanShardsCtx(ctx context.Context, from, to time.Time, workers int) []*ShardStream {
+	return s.ScanShardsWhereCtx(ctx, from, to, workers, nil)
 }
 
 // ScanShardsWhere is ScanShards with zone-map pruning: sealed blocks whose
@@ -275,10 +311,21 @@ func (s *Store) ScanShards(from, to time.Time, workers int) []*ShardStream {
 // pool workers, so it must be safe for concurrent calls; nil scans
 // everything.
 func (s *Store) ScanShardsWhere(from, to time.Time, workers int, pred BlockPredicate) []*ShardStream {
+	return s.ScanShardsWhereCtx(context.Background(), from, to, workers, pred)
+}
+
+// ScanShardsWhereCtx combines ScanShardsCtx and ScanShardsWhere.
+func (s *Store) ScanShardsWhereCtx(ctx context.Context, from, to time.Time, workers int, pred BlockPredicate) []*ShardStream {
 	s.init()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers = normWorkers(workers, topology.NumRacks)
 	metScanWorkers.Set(float64(workers))
 	pool := newScanPool(workers, topology.NumRacks)
+	pool.ctx = ctx
+	pool.stats = envdb.ScanStatsFrom(ctx)
+	_, pool.traced = obs.SpanContextFrom(ctx)
 	fromN, toN := from.UnixNano(), to.UnixNano()
 	loc := s.location()
 	streams := make([]*ShardStream, topology.NumRacks)
@@ -439,6 +486,9 @@ func (it *MergeIter) Close() {
 	}
 	it.closed = true
 	metScanRecords.Add(it.merged)
+	if it.pool != nil && it.pool.stats != nil {
+		it.pool.stats.Records.Add(int64(it.merged))
+	}
 	it.merged = 0
 	if it.pool != nil {
 		it.pool.close()
@@ -497,8 +547,9 @@ func (h streamHeap) down(i int) {
 }
 
 var (
-	_ envdb.ShardScanner = (*Store)(nil)
-	_ envdb.TierScanner  = (*Store)(nil)
+	_ envdb.ShardScanner       = (*Store)(nil)
+	_ envdb.TierScanner        = (*Store)(nil)
+	_ envdb.ContextTierScanner = (*Store)(nil)
 )
 
 // EachRecordMerged implements envdb.ShardScanner: it visits every stored
@@ -520,10 +571,27 @@ func (s *Store) EachRecordMerged(workers int, f func(sensors.Record) bool) error
 // over the hot window only while still seeing the cold tier's window
 // records (one mean-valued record per compaction window).
 func (s *Store) EachRecordMergedTier(workers int, f func(sensors.Record, envdb.Tier) bool) error {
-	_, span := obs.Span(context.Background(), "tsdb.scan_merged")
+	return s.EachRecordMergedTierCtx(context.Background(), workers, f)
+}
+
+// EachRecordMergedTierCtx implements envdb.ContextTierScanner: the merged
+// scan as a child span of ctx's trace, with block decodes on the worker
+// pool linked under it and the request's scan counters updated.
+func (s *Store) EachRecordMergedTierCtx(ctx context.Context, workers int, f func(sensors.Record, envdb.Tier) bool) error {
+	ctx, span := obs.Span(ctx, "tsdb.scan_merged")
 	defer span.End()
+	st := envdb.ScanStatsFrom(ctx)
+	if st == nil {
+		st = new(envdb.ScanStats)
+		ctx = envdb.ContextWithScanStats(ctx, st)
+	}
+	defer func() {
+		span.SetAttr("rows", strconv.FormatInt(st.Records.Load(), 10))
+		span.SetAttr("blocks", strconv.FormatInt(st.BlocksDecoded.Load(), 10))
+		span.SetAttr("pruned", strconv.FormatInt(st.BlocksPruned.Load(), 10))
+	}()
 	defer metQueryDur.With(opScanMerged).ObserveSince(time.Now())
-	it := MergeByTime(s.ScanShards(time.Unix(0, minTime), time.Unix(0, maxTime), workers))
+	it := MergeByTime(s.ScanShardsCtx(ctx, time.Unix(0, minTime), time.Unix(0, maxTime), workers))
 	defer it.Close()
 	for it.Next() {
 		if !f(it.Record(), it.Tier()) {

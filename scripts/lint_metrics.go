@@ -1,9 +1,20 @@
-// Command lint_metrics statically enforces the repository's metric
-// namespace rule: every metric registered through internal/obs must match
-// mira_[a-z_]+ with no double or trailing underscores, and counters must
-// end in _total. The obs registry panics on bad names at runtime; this
-// gate (run by `make lint`, part of `make check`) catches them before any
-// code path executes.
+// Command lint_metrics statically enforces the repository's observability
+// naming rules (run by `make lint`, part of `make check`):
+//
+//   - every metric registered through internal/obs must match mira_[a-z_]+
+//     with no double or trailing underscores, and counters must end in
+//     _total;
+//   - every span name literal (obs.Span and the telemetrynet traced
+//     wrapper) must match [a-z][a-z0-9_.]* with no double or trailing
+//     dots, and must be registered at exactly one site — duplicate
+//     literals make /debug/traces trees ambiguous;
+//   - exemplars must carry exactly one label key, declared once as
+//     exemplarKey = "trace_id" in internal/obs, so exposition-format
+//     exemplar cardinality stays bounded by construction.
+//
+// The obs registry panics on bad metric names at runtime; this gate
+// catches them (and the rules the runtime cannot see) before any code
+// path executes.
 //
 // Usage: go run scripts/lint_metrics.go [root]
 package main
@@ -14,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -23,6 +35,21 @@ import (
 var registrationRE = regexp.MustCompile(`\.(?:New)?(Counter|Gauge|Histogram)(Vec)?\(\s*"([^"]+)"`)
 
 var nameRE = regexp.MustCompile(`^mira_[a-z_]+$`)
+
+// spanRE matches span starts with a literal name: obs.Span(ctx, "name").
+// Computed names (e.g. "analysis."+figure) have no literal and are exempt;
+// their components are linted at the sites that build them.
+// The trailing [,)] keeps concatenated prefixes ("analysis."+figure) out.
+var spanRE = regexp.MustCompile(`\bSpan\(\s*[^,()]*,\s*"([^"]+)"\s*[,)]`)
+
+// tracedRE matches the telemetrynet handler wrapper, whose second literal
+// is a span name: s.traced("endpoint", "net.query", ...).
+var tracedRE = regexp.MustCompile(`\.traced\(\s*"[^"]*",\s*"([^"]+)"`)
+
+var spanNameRE = regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
+
+// exemplarKeyRE matches the single allowed exemplar label-key declaration.
+var exemplarKeyRE = regexp.MustCompile(`\bexemplarKey\s*=\s*"([^"]+)"`)
 
 func lintName(kind, name string) string {
 	switch {
@@ -38,18 +65,34 @@ func lintName(kind, name string) string {
 	return ""
 }
 
+func lintSpanName(name string) string {
+	switch {
+	case !spanNameRE.MatchString(name):
+		return "must match [a-z][a-z0-9_.]*"
+	case strings.Contains(name, ".."):
+		return "must not contain '..'"
+	case strings.HasSuffix(name, "."):
+		return "must not end in '.'"
+	}
+	return ""
+}
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
 	bad := 0
+	spanSites := map[string][]string{}  // span name -> registration sites
+	exemplarKeys := map[string]string{} // declared key -> site
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
 		if d.IsDir() {
-			if name := d.Name(); name == "scripts" || name == "testdata" || strings.HasPrefix(name, ".") {
+			// path != root: a root of "." must not trip the hidden-dir skip,
+			// or the walk ends before scanning a single file.
+			if name := d.Name(); path != root && (name == "scripts" || name == "testdata" || strings.HasPrefix(name, ".")) {
 				return filepath.SkipDir
 			}
 			return nil
@@ -62,12 +105,29 @@ func main() {
 			return err
 		}
 		for i, line := range strings.Split(string(src), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "//") {
+				continue
+			}
+			site := fmt.Sprintf("%s:%d", path, i+1)
 			for _, m := range registrationRE.FindAllStringSubmatch(line, -1) {
 				kind, name := m[1], m[3]
 				if msg := lintName(kind, name); msg != "" {
-					fmt.Fprintf(os.Stderr, "%s:%d: metric %q: %s\n", path, i+1, name, msg)
+					fmt.Fprintf(os.Stderr, "%s: metric %q: %s\n", site, name, msg)
 					bad++
 				}
+			}
+			for _, re := range []*regexp.Regexp{spanRE, tracedRE} {
+				for _, m := range re.FindAllStringSubmatch(line, -1) {
+					name := m[1]
+					if msg := lintSpanName(name); msg != "" {
+						fmt.Fprintf(os.Stderr, "%s: span %q: %s\n", site, name, msg)
+						bad++
+					}
+					spanSites[name] = append(spanSites[name], site)
+				}
+			}
+			for _, m := range exemplarKeyRE.FindAllStringSubmatch(line, -1) {
+				exemplarKeys[m[1]] = site
 			}
 		}
 		return nil
@@ -76,8 +136,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lint_metrics:", err)
 		os.Exit(2)
 	}
+	names := make([]string, 0, len(spanSites))
+	for name := range spanSites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if sites := spanSites[name]; len(sites) > 1 {
+			fmt.Fprintf(os.Stderr, "%s: span %q: registered at %d sites (want 1): %s\n",
+				sites[0], name, len(sites), strings.Join(sites, ", "))
+			bad++
+		}
+	}
+	switch len(exemplarKeys) {
+	case 0:
+		fmt.Fprintln(os.Stderr, "lint_metrics: no exemplarKey declaration found (want exactly one, \"trace_id\", in internal/obs)")
+		bad++
+	case 1:
+		for key, site := range exemplarKeys {
+			if key != "trace_id" {
+				fmt.Fprintf(os.Stderr, "%s: exemplar label key %q: must be \"trace_id\"\n", site, key)
+				bad++
+			}
+		}
+	default:
+		for key, site := range exemplarKeys {
+			fmt.Fprintf(os.Stderr, "%s: exemplar label key %q: multiple exemplarKey declarations (want exactly one)\n", site, key)
+			bad++
+		}
+	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "lint_metrics: %d bad metric name(s)\n", bad)
+		fmt.Fprintf(os.Stderr, "lint_metrics: %d violation(s)\n", bad)
 		os.Exit(1)
 	}
 	fmt.Println("lint_metrics: ok")
