@@ -5,8 +5,8 @@
 //
 //	miraanalyze [-seed N] [-step 15m] [-figure all|2|3|...|15]
 //	            [-from out.csv] [-data dir] [-retention 0] [-scan-workers N]
-//	            [-scan-mode chunked|record] [-report report.json]
-//	            [-log-format text|json]
+//	            [-scan-mode chunked|record] [-halls 1] [-racks 48] [-hall 0]
+//	            [-report report.json] [-log-format text|json]
 //
 // A full run at -step 15m takes under a minute; -step 300s matches the
 // coolant monitor's native cadence and takes a few minutes. -data reopens
@@ -22,6 +22,12 @@
 // local store: the same figures run through the wire-level envdb client,
 // with Fig. 7/9 aggregation pushed down to the server — the output is
 // bit-identical to analyzing the server's store in-process.
+//
+// For a multi-hall fleet store, -halls/-racks size the -data open and
+// -hall picks the machine hall the figures describe (the figures are
+// per-machine views, so a fleet is analyzed one hall at a time). The
+// hall filter is applied identically on the local and remote paths, so
+// `-hall 1 -remote ...` still diffs clean against the server-side store.
 package main
 
 import (
@@ -59,11 +65,28 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 		scanWorkers = flag.Int("scan-workers", 0, "decode workers for parallel store scans on the offline paths (0 = GOMAXPROCS)")
 		scanMode    = flag.String("scan-mode", "chunked", "merged-scan surface for the replay figures: chunked (batch-columnar) or record (record-at-a-time)")
+		halls       = flag.Int("halls", 1, "machine halls the -data store is sized for")
+		racks       = flag.Int("racks", topology.NumRacks, "racks per hall (1..48)")
+		hall        = flag.Int("hall", 0, "which machine hall the offline figures describe (fleet stores are analyzed one hall at a time)")
 	)
 	flag.Parse()
 	logg = obs.NewLogger(os.Stderr, *logFormat, "miraanalyze")
 
-	scan := analysis.CollectOptions{Workers: *scanWorkers}
+	if *halls < 1 || *halls > topology.MaxHalls {
+		logg.Fatalf("bad -halls %d: want 1..%d", *halls, topology.MaxHalls)
+	}
+	if *racks < 1 || *racks > topology.NumRacks {
+		logg.Fatalf("bad -racks %d: want 1..%d", *racks, topology.NumRacks)
+	}
+	if *hall < 0 || *hall >= topology.MaxHalls {
+		logg.Fatalf("bad -hall %d: want 0..%d", *hall, topology.MaxHalls-1)
+	}
+	fleet := topology.Fleet{Halls: *halls, Racks: *racks}.Norm()
+	if *dataDir != "" && *hall >= fleet.Halls {
+		logg.Fatalf("-hall %d outside the %d-hall fleet", *hall, fleet.Halls)
+	}
+
+	scan := analysis.CollectOptions{Workers: *scanWorkers, Hall: *hall}
 	switch *scanMode {
 	case "chunked":
 	case "record":
@@ -78,7 +101,7 @@ func main() {
 		return
 	}
 	if *dataDir != "" {
-		analyzeData(*dataDir, *seed, *step, *retention, scan, *figure)
+		analyzeData(*dataDir, *seed, *step, *retention, fleet, scan, *figure)
 		writeReport(*reportPath)
 		return
 	}
@@ -186,8 +209,8 @@ func printEfficiency(s *mira.Study) {
 // -retention, the store is compacted on disk before analysis: the Fig. 7/9
 // pushdown aggregates across raw and downsampled tiers exactly, while the
 // replay figures cover the retained hot window.
-func analyzeData(dir string, seed int64, step, retention time.Duration, scan analysis.CollectOptions, figure string) {
-	db, err := tsdb.Open(dir, tsdb.Options{Retention: retention})
+func analyzeData(dir string, seed int64, step, retention time.Duration, fleet topology.Fleet, scan analysis.CollectOptions, figure string) {
+	db, err := tsdb.Open(dir, tsdb.Options{Retention: retention, Fleet: fleet})
 	switch {
 	case err == nil:
 		db.ExposeGauges(nil)
@@ -196,7 +219,9 @@ func analyzeData(dir string, seed int64, step, retention time.Duration, scan ana
 			db.Len(), dir, float64(st.DiskBytes)/(1<<20))
 	case errors.Is(err, tsdb.ErrNoData):
 		fmt.Printf("cold start: no segments under %s; simulating 2014-2019 (seed %d, step %v)...\n", dir, seed, step)
-		db = tsdb.NewStore()
+		// The cold-start simulation is the paper's single machine; a wider
+		// fleet store just leaves the other halls empty until pushed to.
+		db = tsdb.NewStoreWith(tsdb.Options{Fleet: fleet})
 		db.ExposeGauges(nil)
 		rec := sim.NewEnvDBRecorder(db)
 		s := sim.New(sim.Config{Seed: seed, Start: timeutil.ProductionStart, End: timeutil.ProductionEnd, Step: step})
@@ -243,6 +268,10 @@ func analyzeRemote(url string, scan analysis.CollectOptions, figure string) {
 	}
 	if !info.HasData {
 		logg.Fatalf("remote store at %s is empty; push telemetry first (mirasim -push)", url)
+	}
+	remoteFleet := topology.Fleet{Halls: info.Halls, Racks: info.RacksPerHall}.Norm()
+	if scan.Hall >= remoteFleet.Halls {
+		logg.Fatalf("-hall %d outside the remote store's %d-hall fleet", scan.Hall, remoteFleet.Halls)
 	}
 	first := time.Unix(0, info.FirstUnixNano).In(time.FixedZone("store", int(info.ZoneOffsetSeconds)))
 	last := time.Unix(0, info.LastUnixNano).In(first.Location())
@@ -294,19 +323,23 @@ func analyzeStore(db envdb.DB, scan analysis.CollectOptions, figure string) {
 	defer span.End()
 	span.SetAttr("figure", figure)
 
+	if scan.Hall != 0 {
+		fmt.Printf("analyzing machine hall %d\n\n", scan.Hall)
+	}
+
 	if agg, ok := db.(envdb.Aggregator); ok && !want("3") && !want("8") {
 		// Pushdown fast path: Figs. 7 and 9 need only per-rack means, which
 		// come exactly (integer-domain sums) from compressed columns of both
 		// the raw and downsampled tiers.
 		if want("7") {
-			fig7, err := analysis.Fig7CoolantPushdownCtx(ctx, agg)
+			fig7, err := analysis.Fig7CoolantPushdownHall(ctx, agg, scan.Hall)
 			if err != nil {
 				logg.Fatalf("%v", err)
 			}
 			printOfflineFig7(fig7)
 		}
 		if want("9") {
-			fig9, err := analysis.Fig9AmbientPushdownCtx(ctx, agg)
+			fig9, err := analysis.Fig9AmbientPushdownHall(ctx, agg, scan.Hall)
 			if err != nil {
 				logg.Fatalf("%v", err)
 			}

@@ -8,7 +8,11 @@
 // Usage:
 //
 //	miraload -url http://host:8080 [-clients 1000] [-requests 20000]
-//	         [-seed 1] [-out BENCH_net.json]
+//	         [-halls 0] [-racks 0] [-seed 1] [-out BENCH_net.json]
+//
+// Against a fleet-sized server the request mix draws racks across every
+// machine hall the server advertises in /api/v1/info; -halls/-racks
+// override that advertisement to focus or widen the load.
 package main
 
 import (
@@ -87,6 +91,8 @@ func main() {
 		clients     = flag.Int("clients", 1000, "concurrent query clients")
 		requests    = flag.Int("requests", 20000, "total requests across all clients")
 		seed        = flag.Int64("seed", 1, "request-mix seed")
+		halls       = flag.Int("halls", 0, "machine halls to spread queries across (0 = what the server advertises)")
+		racks       = flag.Int("racks", 0, "racks per hall to draw queries from (0 = what the server advertises)")
 		out         = flag.String("out", "BENCH_net.json", "write the JSON latency snapshot to this file")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 		traceSample = flag.Float64("trace-sample", 0.01, "head-sampling ratio for request traces, 0..1; the sampled flag rides X-Mira-Trace, so the server keeps the same subset (plus anything slow)")
@@ -99,6 +105,12 @@ func main() {
 	}
 	if *clients < 1 || *requests < 1 {
 		logg.Fatalf("-clients and -requests must be positive")
+	}
+	if *halls < 0 || *halls > topology.MaxHalls {
+		logg.Fatalf("bad -halls %d: want 0..%d", *halls, topology.MaxHalls)
+	}
+	if *racks < 0 || *racks > topology.NumRacks {
+		logg.Fatalf("bad -racks %d: want 0..%d", *racks, topology.NumRacks)
 	}
 
 	// One shared client, one widened transport: every worker multiplexes
@@ -122,8 +134,22 @@ func main() {
 	if !info.HasData {
 		logg.Fatalf("remote store at %s is empty; push telemetry first (mirasim -push)", *url)
 	}
+	// The server advertises its fleet shape; pre-fleet servers omit the
+	// fields and Norm() falls back to the single 48-rack machine.
+	fleet := topology.Fleet{Halls: info.Halls, Racks: info.RacksPerHall}.Norm()
+	if *halls > 0 {
+		fleet.Halls = *halls
+	}
+	if *racks > 0 {
+		fleet.Racks = *racks
+	}
 	span := info.LastUnixNano - info.FirstUnixNano + 1
-	fmt.Printf("load-testing %s: %d records, %d clients, %d requests\n", *url, info.Records, *clients, *requests)
+	if fleet.Halls > 1 {
+		fmt.Printf("load-testing %s: %d records across %d halls × %d racks, %d clients, %d requests\n",
+			*url, info.Records, fleet.Halls, fleet.Racks, *clients, *requests)
+	} else {
+		fmt.Printf("load-testing %s: %d records, %d clients, %d requests\n", *url, info.Records, *clients, *requests)
+	}
 
 	var (
 		nextReq  int64
@@ -143,7 +169,7 @@ func main() {
 					break
 				}
 				op := rng.Intn(len(opNames))
-				rack := topology.RackByIndex(rng.Intn(topology.NumRacks))
+				rack := fleet.RackAt(rng.Intn(fleet.NumRacks()))
 				metric := sensors.Metric(rng.Intn(int(sensors.NumMetrics)))
 				// Random window up to ~1/8 of the stored span, so range
 				// queries stress varied decode amounts.

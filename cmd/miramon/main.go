@@ -7,8 +7,9 @@
 //
 //	miramon [-seed N] [-train-days 120] [-watch-days 45] [-data dir]
 //	        [-retention 0] [-compact-interval 1h] [-listen :8080] [-serve]
-//	        [-audit-interval 1m] [-scan-mode chunked|record]
-//	        [-report report.json] [-log-format text|json]
+//	        [-halls 1] [-racks 48] [-audit-interval 1m]
+//	        [-scan-mode chunked|record] [-report report.json]
+//	        [-log-format text|json]
 //
 // With -data, a cold run persists the watched telemetry to segment files;
 // a warm run (segments already present) skips the simulation and instead
@@ -32,7 +33,10 @@
 // listener as /metrics, remote mirasim processes push records into it
 // (mirasim -push), remote analyses query it (miraanalyze -remote), and a
 // background auditor threshold-checks newly ingested records every
-// -audit-interval.
+// -audit-interval. -halls/-racks size the store for a multi-hall fleet:
+// one serving miramon holds every hall's racks as separate shards,
+// exposes per-hall sample gauges on /metrics, and the auditor's scan
+// fans out across all halls.
 package main
 
 import (
@@ -136,6 +140,8 @@ func main() {
 		compactEach = flag.Duration("compact-interval", time.Hour, "how often a listening monitor re-runs retention compaction in the background (requires -retention and -listen)")
 		listen      = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address and stay up after the demo (e.g. :8080)")
 		serve       = flag.Bool("serve", false, "run as a telemetry server: expose the -data store through the telemetrynet ingest/query API on -listen instead of running the demo")
+		halls       = flag.Int("halls", 1, "machine halls the -data store is sized for; >1 shards the store per hall and persists per-hall segment directories")
+		racks       = flag.Int("racks", topology.NumRacks, "racks per hall (1..48)")
 		auditEach   = flag.Duration("audit-interval", time.Minute, "how often a listening monitor threshold-audits records newer than the last audited timestamp")
 		reportPath  = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -167,6 +173,13 @@ func main() {
 	if *serve && (*listen == "" || *dataDir == "") {
 		logg.Fatalf("-serve requires both -listen and -data")
 	}
+	if *halls < 1 || *halls > topology.MaxHalls {
+		logg.Fatalf("bad -halls %d: want 1..%d", *halls, topology.MaxHalls)
+	}
+	if *racks < 1 || *racks > topology.NumRacks {
+		logg.Fatalf("bad -racks %d: want 1..%d", *racks, topology.NumRacks)
+	}
+	fleet := topology.Fleet{Halls: *halls, Racks: *racks}.Norm()
 
 	// serveHTTP starts the shared listener: the obs surface, plus — with
 	// -serve — the telemetry API mounted on the same mux.
@@ -194,11 +207,11 @@ func main() {
 	}
 
 	if *serve {
-		db, err := tsdb.Open(*dataDir, tsdb.Options{Retention: *retention})
+		db, err := tsdb.Open(*dataDir, tsdb.Options{Retention: *retention, Fleet: fleet})
 		switch {
 		case errors.Is(err, tsdb.ErrNoData):
 			logg.Infof("no segments under %s; serving an empty store", *dataDir)
-			db = tsdb.NewStoreWith(tsdb.Options{Retention: *retention})
+			db = tsdb.NewStoreWith(tsdb.Options{Retention: *retention, Fleet: fleet})
 		case errors.Is(err, tsdb.ErrCorrupt):
 			obs.SetHealth(err)
 			logg.Errorf("store under %s is corrupt; serving unhealthy: %v", *dataDir, err)
@@ -227,7 +240,7 @@ func main() {
 	serveHTTP(nil)
 
 	if *dataDir != "" {
-		db, err := tsdb.Open(*dataDir, tsdb.Options{Retention: *retention})
+		db, err := tsdb.Open(*dataDir, tsdb.Options{Retention: *retention, Fleet: fleet})
 		switch {
 		case err == nil:
 			db.ExposeGauges(nil)
@@ -277,8 +290,10 @@ func main() {
 	w2 := &gate{inner: w, from: watchStart}
 	s.AddRecorder(w2)
 	// Keep the watched telemetry queryable in the compressed store so the
-	// summary can aggregate it without re-running the simulation.
-	db := tsdb.NewStoreWith(tsdb.Options{Retention: *retention})
+	// summary can aggregate it without re-running the simulation. The demo
+	// simulates one machine; a wider -halls store just leaves the other
+	// halls' shards empty.
+	db := tsdb.NewStoreWith(tsdb.Options{Retention: *retention, Fleet: fleet})
 	db.ExposeGauges(nil)
 	dbRec := sim.NewEnvDBRecorder(db)
 	s.AddRecorder(&gate{inner: dbRec, from: watchStart})
@@ -334,15 +349,23 @@ func main() {
 // whole store every interval.
 type auditor struct {
 	db         *tsdb.Store
+	fleet      topology.Fleet
 	workers    int
 	thresholds sensors.Thresholds
 
 	mu    sync.Mutex
-	lastN [topology.NumRacks]int64 // newest audited UnixNano per rack
+	lastN []int64 // newest audited UnixNano per fleet rack (GlobalIndex order)
 }
 
 func newAuditor(db *tsdb.Store, workers int) *auditor {
-	return &auditor{db: db, workers: workers, thresholds: sensors.DefaultThresholds()}
+	fleet := db.Fleet()
+	return &auditor{
+		db:         db,
+		fleet:      fleet,
+		workers:    workers,
+		thresholds: sensors.DefaultThresholds(),
+		lastN:      make([]int64, fleet.NumRacks()),
+	}
 }
 
 // runOnce audits everything newer than the watermarks and advances them,
@@ -364,12 +387,13 @@ func (a *auditor) runOnce() (records, alarms, coldWindows int, err error) {
 	}
 	// Racks advance at different rates (one pusher per rack group), so the
 	// scan starts at the stalest rack's watermark and per-rack skips below
-	// drop the records faster racks already audited.
+	// drop the records faster racks already audited. ScanShards fans out
+	// across every hall's shards, so one pass audits the whole fleet.
 	it := tsdb.MergeByTime(a.db.ScanShards(time.Unix(0, oldest+1), last.Add(time.Nanosecond), a.workers))
 	defer it.Close()
 	for it.Next() {
 		r := it.Record()
-		idx := r.Rack.Index()
+		idx := a.fleet.GlobalIndex(r.Rack)
 		n := r.Time.UnixNano()
 		if n <= a.lastN[idx] {
 			continue

@@ -36,6 +36,7 @@ import (
 	"mira/internal/sim"
 	"mira/internal/telemetrynet"
 	"mira/internal/timeutil"
+	"mira/internal/topology"
 	"mira/internal/tsdb"
 	"mira/internal/workload"
 )
@@ -53,6 +54,8 @@ func main() {
 		telemetry  = flag.String("telemetry", "", "write telemetry CSV to this file")
 		rasOut     = flag.String("ras", "", "write the deduplicated failure log to this file")
 		push       = flag.String("push", "", "stream telemetry to a remote miramon -serve at this base URL (e.g. http://host:8080) instead of a local store")
+		halls      = flag.Int("halls", 1, "machine halls in the simulated fleet; each hall runs its own simulation seeded seed+hall, recorded under that hall's racks")
+		racks      = flag.Int("racks", topology.NumRacks, "racks per hall (1..48)")
 		listen     = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address while the run is live (e.g. :8080)")
 		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -72,8 +75,15 @@ func main() {
 	if *push != "" && (*dataDir != "" || *telemetry != "" || *retention > 0) {
 		logg.Fatalf("-push streams to a remote store; it cannot be combined with -data, -telemetry, or -retention")
 	}
+	if *halls < 1 || *halls > topology.MaxHalls {
+		logg.Fatalf("bad -halls %d: want 1..%d", *halls, topology.MaxHalls)
+	}
+	if *racks < 1 || *racks > topology.NumRacks {
+		logg.Fatalf("bad -racks %d: want 1..%d", *racks, topology.NumRacks)
+	}
+	fleet := topology.Fleet{Halls: *halls, Racks: *racks}.Norm()
 
-	db := tsdb.NewStoreWith(tsdb.Options{Downsample: *downsample, Partition: *partition, Retention: *retention})
+	db := tsdb.NewStoreWith(tsdb.Options{Downsample: *downsample, Partition: *partition, Retention: *retention, Fleet: fleet})
 	db.ExposeGauges(nil)
 	if *listen != "" {
 		addr, err := obs.Serve(*listen)
@@ -96,22 +106,40 @@ func main() {
 		sink = pushClient
 		logg.Infof("pushing telemetry to %s", *push)
 	}
-	rec := sim.NewEnvDBRecorder(sink)
-	s := sim.New(sim.Config{Seed: *seed, Start: start, End: end, Step: *step})
-	s.AddRecorder(rec)
-
+	// One simulation per hall, seeded seed+hall so the halls decorrelate;
+	// hall 0 keeps the exact single-machine run (same seed, same recorder
+	// stream) and drives the RAS/figure outputs below.
 	began := time.Now()
-	if err := s.Run(); err != nil {
-		logg.Fatalf("%v", err)
-	}
-	if rec.Err != nil {
-		logg.Fatalf("telemetry recording: %v", rec.Err)
+	var s *sim.Simulator
+	for h := 0; h < fleet.Halls; h++ {
+		rec := sim.NewEnvDBRecorder(sink)
+		hs := sim.New(sim.Config{Seed: *seed + int64(h), Start: start, End: end, Step: *step})
+		if fleet.Halls > 1 || fleet.Racks != topology.NumRacks {
+			hs.AddRecorder(sim.NewHallRecorder(rec, h, fleet.Racks))
+		} else {
+			hs.AddRecorder(rec)
+		}
+		if err := hs.Run(); err != nil {
+			logg.Fatalf("hall %d: %v", h, err)
+		}
+		if rec.Err != nil {
+			logg.Fatalf("hall %d telemetry recording: %v", h, rec.Err)
+		}
+		if h == 0 {
+			s = hs
+		}
 	}
 	elapsed := time.Since(began)
 
 	cmfs := s.Log().DedupCMF()
 	nonCMF := s.Log().DedupNonCMF()
-	fmt.Printf("simulated %s .. %s at step %v in %v\n", start.Format("2006-01-02"), end.Format("2006-01-02"), *step, elapsed.Round(time.Millisecond))
+	if fleet.Halls > 1 {
+		fmt.Printf("simulated %d-hall fleet (%d racks), %s .. %s at step %v in %v\n",
+			fleet.Halls, fleet.NumRacks(), start.Format("2006-01-02"), end.Format("2006-01-02"), *step, elapsed.Round(time.Millisecond))
+		fmt.Printf("RAS and job summaries below cover hall 0\n")
+	} else {
+		fmt.Printf("simulated %s .. %s at step %v in %v\n", start.Format("2006-01-02"), end.Format("2006-01-02"), *step, elapsed.Round(time.Millisecond))
+	}
 	if pushClient != nil {
 		// The recorder latched per-batch errors above; the tail batch still
 		// needs a final flush before the push counters are complete.

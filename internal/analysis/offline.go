@@ -34,6 +34,14 @@ type CollectOptions struct {
 	// baseline for verifying that the chunked default produces identical
 	// figures (scripts/smoke.sh diffs the two).
 	ForceRecords bool
+	// Hall selects which machine hall of a fleet store to analyze (default
+	// 0 — for a single-machine store that is the whole trace). The paper's
+	// figures describe one 48-rack machine, so a fleet replay analyzes one
+	// hall at a time; records from other halls are skipped during the scan
+	// and the reconstructed system power covers the selected hall only.
+	// The filter applies identically to local and remote stores, so the
+	// figures stay bit-identical across a push/analyze round trip.
+	Hall int
 }
 
 // CollectFromStoreParallel is CollectFromStoreOpts with only the worker
@@ -82,16 +90,16 @@ func CollectFromStoreCtx(ctx context.Context, db envdb.DB, opts CollectOptions) 
 	// treats as panic-worthy.
 	if cs, ok := db.(envdb.ChunkScanner); ok && !opts.ForceRecords {
 		mode = "chunked"
-		if _, err := replayChunkedCtx(ctx, cs, opts.Workers, c); err != nil {
+		if _, err := replayChunkedHallCtx(ctx, cs, opts.Workers, opts.Hall, c); err != nil {
 			panic(err)
 		}
 	} else if ss, ok := db.(envdb.ShardScanner); ok {
 		mode = "record"
-		if _, err := replayMergedCtx(ctx, ss, opts.Workers, c); err != nil {
+		if _, err := replayMergedHallCtx(ctx, ss, opts.Workers, opts.Hall, c); err != nil {
 			panic(err)
 		}
 	} else {
-		replayGrouped(db, c)
+		replayGrouped(db, opts.Hall, c)
 	}
 	span.SetAttr("scan_mode", mode)
 	c.Finalize()
@@ -152,12 +160,19 @@ func (a *tickAccum) flush() {
 // an instant) record-at-a-time scan through the collector. It returns the
 // peak tick-buffer length so tests can pin the O(racks) memory bound.
 func replayMerged(ss envdb.ShardScanner, workers int, c *Collector) (maxTick int, err error) {
-	return replayMergedCtx(context.Background(), ss, workers, c)
+	return replayMergedHallCtx(context.Background(), ss, workers, 0, c)
 }
 
 func replayMergedCtx(ctx context.Context, ss envdb.ShardScanner, workers int, c *Collector) (maxTick int, err error) {
+	return replayMergedHallCtx(ctx, ss, workers, 0, c)
+}
+
+func replayMergedHallCtx(ctx context.Context, ss envdb.ShardScanner, workers, hall int, c *Collector) (maxTick int, err error) {
 	acc := newTickAccum(c)
 	visit := func(r sensors.Record) bool {
+		if r.Rack.Hall != hall {
+			return true
+		}
 		acc.visit(r.Time.UnixNano(), r)
 		return true
 	}
@@ -191,14 +206,21 @@ func replayMergedCtx(ctx context.Context, ss envdb.ShardScanner, workers int, c 
 // record surface reads, so the resulting figures are bit-identical to the
 // record-at-a-time replay.
 func replayChunked(cs envdb.ChunkScanner, workers int, c *Collector) (maxTick int, err error) {
-	return replayChunkedCtx(context.Background(), cs, workers, c)
+	return replayChunkedHallCtx(context.Background(), cs, workers, 0, c)
 }
 
 func replayChunkedCtx(ctx context.Context, cs envdb.ChunkScanner, workers int, c *Collector) (maxTick int, err error) {
+	return replayChunkedHallCtx(ctx, cs, workers, 0, c)
+}
+
+func replayChunkedHallCtx(ctx context.Context, cs envdb.ChunkScanner, workers, hall int, c *Collector) (maxTick int, err error) {
 	acc := newTickAccum(c)
+	// The hall filter runs on the packed-code column (hall in the high
+	// byte), so off-hall rows never materialize a record.
+	hallCode := uint16(hall) << 8
 	visit := func(ch *envdb.Chunk) bool {
 		for i, k := range ch.Times {
-			if ch.Tiers[i] != envdb.TierRaw {
+			if ch.Tiers[i] != envdb.TierRaw || ch.Racks[i]&0xFF00 != hallCode {
 				continue
 			}
 			acc.visit(k, ch.Record(i))
@@ -221,10 +243,13 @@ func replayChunkedCtx(ctx context.Context, cs envdb.ChunkScanner, workers int, c
 // the whole trace, group records into ticks by instant, and replay in
 // sorted order. O(trace) memory — kept only for envdb.DB implementations
 // outside this module.
-func replayGrouped(db envdb.DB, c *Collector) {
+func replayGrouped(db envdb.DB, hall int, c *Collector) {
 	byTick := make(map[int64][]sensors.Record)
 	var order []int64
 	db.EachRecord(func(r sensors.Record) {
+		if r.Rack.Hall != hall {
+			return
+		}
 		k := r.Time.UnixNano()
 		if _, ok := byTick[k]; !ok {
 			order = append(order, k)
@@ -258,16 +283,18 @@ var nanUtil = func() float64 {
 // domain, which makes the means exact and compaction-invariant: the same
 // value before and after the store's cold range is downsampled. They agree
 // with a full float-order replay to within summation-order rounding.
-func rackMeansPushdown(ctx context.Context, db envdb.Aggregator, m sensors.Metric, from, to time.Time) ([]float64, error) {
+func rackMeansPushdown(ctx context.Context, db envdb.Aggregator, m sensors.Metric, from, to time.Time, hall int) ([]float64, error) {
 	ca, traced := db.(envdb.ContextAggregator)
 	out := make([]float64, topology.NumRacks)
 	for i := range out {
+		rack := topology.RackByIndex(i)
+		rack.Hall = hall
 		var aggs []envdb.WindowAgg
 		var err error
 		if traced {
-			aggs, err = ca.AggregateCtx(ctx, topology.RackByIndex(i), m, from, to, 0)
+			aggs, err = ca.AggregateCtx(ctx, rack, m, from, to, 0)
 		} else {
-			aggs, err = db.Aggregate(topology.RackByIndex(i), m, from, to, 0)
+			aggs, err = db.Aggregate(rack, m, from, to, 0)
 		}
 		if err != nil {
 			return nil, err
@@ -295,6 +322,13 @@ func Fig7CoolantPushdown(db envdb.Aggregator) (RackCoolant, error) {
 // per-rack Aggregate sweep runs as children of an "analysis.fig7_pushdown"
 // span parented to ctx (when the store implements envdb.ContextAggregator).
 func Fig7CoolantPushdownCtx(ctx context.Context, db envdb.Aggregator) (RackCoolant, error) {
+	return Fig7CoolantPushdownHall(ctx, db, 0)
+}
+
+// Fig7CoolantPushdownHall is Fig7CoolantPushdownCtx scoped to one machine
+// hall of a fleet store (hall 0 is the whole store for single-machine
+// trees) — the pushdown analogue of CollectOptions.Hall.
+func Fig7CoolantPushdownHall(ctx context.Context, db envdb.Aggregator, hall int) (RackCoolant, error) {
 	defer timed("fig7_rack_coolant_pushdown")()
 	ctx, span := obs.Span(ctx, "analysis.fig7_pushdown")
 	defer span.End()
@@ -303,15 +337,15 @@ func Fig7CoolantPushdownCtx(ctx context.Context, db envdb.Aggregator) (RackCoola
 		return RackCoolant{}, nil
 	}
 	to := last.Add(time.Nanosecond)
-	flow, err := rackMeansPushdown(ctx, db, sensors.MetricFlow, first, to)
+	flow, err := rackMeansPushdown(ctx, db, sensors.MetricFlow, first, to, hall)
 	if err != nil {
 		return RackCoolant{}, err
 	}
-	inlet, err := rackMeansPushdown(ctx, db, sensors.MetricInletTemp, first, to)
+	inlet, err := rackMeansPushdown(ctx, db, sensors.MetricInletTemp, first, to, hall)
 	if err != nil {
 		return RackCoolant{}, err
 	}
-	outlet, err := rackMeansPushdown(ctx, db, sensors.MetricOutletTemp, first, to)
+	outlet, err := rackMeansPushdown(ctx, db, sensors.MetricOutletTemp, first, to, hall)
 	if err != nil {
 		return RackCoolant{}, err
 	}
@@ -333,6 +367,12 @@ func Fig9AmbientPushdown(db envdb.Aggregator) (RackAmbient, error) {
 // Fig9AmbientPushdownCtx is Fig9AmbientPushdown under a caller trace; see
 // Fig7CoolantPushdownCtx.
 func Fig9AmbientPushdownCtx(ctx context.Context, db envdb.Aggregator) (RackAmbient, error) {
+	return Fig9AmbientPushdownHall(ctx, db, 0)
+}
+
+// Fig9AmbientPushdownHall is Fig9AmbientPushdownCtx scoped to one machine
+// hall; see Fig7CoolantPushdownHall.
+func Fig9AmbientPushdownHall(ctx context.Context, db envdb.Aggregator, hall int) (RackAmbient, error) {
 	defer timed("fig9_rack_ambient_pushdown")()
 	ctx, span := obs.Span(ctx, "analysis.fig9_pushdown")
 	defer span.End()
@@ -341,11 +381,11 @@ func Fig9AmbientPushdownCtx(ctx context.Context, db envdb.Aggregator) (RackAmbie
 		return RackAmbient{}, nil
 	}
 	to := last.Add(time.Nanosecond)
-	temp, err := rackMeansPushdown(ctx, db, sensors.MetricDCTemperature, first, to)
+	temp, err := rackMeansPushdown(ctx, db, sensors.MetricDCTemperature, first, to, hall)
 	if err != nil {
 		return RackAmbient{}, err
 	}
-	hum, err := rackMeansPushdown(ctx, db, sensors.MetricDCHumidity, first, to)
+	hum, err := rackMeansPushdown(ctx, db, sensors.MetricDCHumidity, first, to, hall)
 	if err != nil {
 		return RackAmbient{}, err
 	}

@@ -103,9 +103,11 @@ type Chunk struct {
 	Loc *time.Location
 	// Times holds unix-nanosecond timestamps, non-decreasing.
 	Times []int64
-	// Racks holds the rack index of each row; within equal timestamps rows
-	// are ordered by ascending rack index.
-	Racks []uint8
+	// Racks holds the packed rack code (topology.RackID.Code: hall high
+	// byte, within-hall index low byte) of each row; within equal
+	// timestamps rows are ordered by ascending fleet shard order, which
+	// equals ascending code order. Hall-0 codes equal the plain rack index.
+	Racks []uint16
 	// Tiers holds each row's storage tier.
 	Tiers []Tier
 	// Cols holds one value column per metric, indexed by sensors.Metric.
@@ -118,9 +120,15 @@ func (c *Chunk) Len() int { return len(c.Times) }
 // Record materializes row i. The result is bit-identical to what the
 // record-at-a-time scan surfaces for the same stored row.
 func (c *Chunk) Record(i int) sensors.Record {
+	rack, err := topology.RackFromCode(c.Racks[i])
+	if err != nil {
+		// Chunks are produced from valid RackIDs; a bad code is in-process
+		// corruption, panic-worthy like the rest of the error-free surface.
+		panic(err)
+	}
 	return sensors.Record{
 		Time:          time.Unix(0, c.Times[i]).In(c.Loc),
-		Rack:          topology.RackByIndex(int(c.Racks[i])),
+		Rack:          rack,
 		DCTemperature: units.Fahrenheit(c.Cols[sensors.MetricDCTemperature][i]),
 		DCHumidity:    units.RelativeHumidity(c.Cols[sensors.MetricDCHumidity][i]),
 		Flow:          units.GPM(c.Cols[sensors.MetricFlow][i]),
@@ -174,9 +182,28 @@ type Appender interface {
 	Append(r sensors.Record) error
 }
 
+// BatchAppender is an optional capability of DB implementations with an
+// atomic batched ingest path: AppendTick validates the whole batch first
+// (per-rack time order within the batch and against the store) and applies
+// it all-or-nothing — a returned error guarantees the store is unchanged,
+// so the batch is safe to retry after correction. Implementations also
+// amortize per-record locking across the batch. Servers ingesting network
+// batches should type-assert for this capability and fall back to a
+// per-record Append loop (which has no atomicity guarantee) when absent.
+type BatchAppender interface {
+	AppendTick(recs []sensors.Record) error
+}
+
 // RecordVisitor is the minimal scan surface WriteCSV needs.
 type RecordVisitor interface {
 	EachRecordUntil(f func(sensors.Record) bool)
+}
+
+// FleetDescriber is an optional capability of DB implementations that know
+// their hall × rack shape. Consumers (the telemetry server, remote
+// analyses) treat stores without it as the single-machine 1 × 48 fleet.
+type FleetDescriber interface {
+	Fleet() topology.Fleet
 }
 
 // Store is a plain in-memory environmental database backed by one record
@@ -225,6 +252,36 @@ func (s *Store) Append(r sensors.Record) error {
 		return nil
 	}
 	s.records[idx] = append(s.records[idx], r)
+	return nil
+}
+
+var _ BatchAppender = (*Store)(nil)
+
+// AppendTick implements BatchAppender: the batch is validated in full —
+// per-rack non-decreasing time order, within the batch and against the
+// store — before any record lands, so a returned error leaves the store
+// unchanged and the corrected batch can simply be resubmitted.
+func (s *Store) AppendTick(recs []sensors.Record) error {
+	var last [topology.NumRacks]time.Time
+	var seen [topology.NumRacks]bool
+	for _, r := range recs {
+		idx := r.Rack.Index()
+		prev, ok := last[idx], seen[idx]
+		if !ok {
+			prev, ok = s.lastT[idx], s.hasLast[idx]
+		}
+		if ok && r.Time.Before(prev) {
+			return fmt.Errorf("envdb: out-of-order record in batch for rack %v: %v before %v",
+				r.Rack, r.Time, prev)
+		}
+		last[idx], seen[idx] = r.Time, true
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			// Unreachable: the batch was validated above.
+			return err
+		}
+	}
 	return nil
 }
 

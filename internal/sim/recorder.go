@@ -169,6 +169,37 @@ func (r *EnvDBRecorder) OnSample(rec sensors.Record) {
 	}
 }
 
+// HallRecorder forwards to an inner recorder with every sample's rack
+// re-tagged into one machine hall — how a fleet run stands up one
+// simulator per hall against a shared multi-hall store. Racks at or past
+// the fleet's per-hall width are dropped, so a narrowed fleet (-racks)
+// never feeds out-of-fleet records to the sink. Only samples carry rack
+// identity on the telemetry path; the other recorder callbacks pass
+// through untouched.
+type HallRecorder struct {
+	Recorder
+	Hall  int
+	Racks int // per-hall rack count; samples with Index() >= Racks drop
+}
+
+// NewHallRecorder wraps inner for hall h of a fleet with racks racks per
+// hall (<= 0 selects the full 48-rack machine).
+func NewHallRecorder(inner Recorder, hall, racks int) *HallRecorder {
+	if racks <= 0 {
+		racks = topology.NumRacks
+	}
+	return &HallRecorder{Recorder: inner, Hall: hall, Racks: racks}
+}
+
+// OnSample re-tags the record's hall and forwards it.
+func (h *HallRecorder) OnSample(rec sensors.Record) {
+	if rec.Rack.Index() >= h.Racks {
+		return
+	}
+	rec.Rack.Hall = h.Hall
+	h.Recorder.OnSample(rec)
+}
+
 // SystemSeries accumulates the per-tick system power and utilization.
 type SystemSeries struct {
 	NopRecorder

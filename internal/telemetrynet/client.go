@@ -303,8 +303,10 @@ func (c *Client) get(ctx context.Context, path string, q url.Values) (io.ReadClo
 }
 
 func rangeParams(rack topology.RackID, from, to time.Time) url.Values {
+	// The rack travels as its packed code; for hall 0 this is the plain
+	// index, so the params are unchanged against pre-fleet servers.
 	return url.Values{
-		"rack": {strconv.Itoa(rack.Index())},
+		"rack": {strconv.FormatUint(uint64(rack.Code()), 10)},
 		"from": {strconv.FormatInt(from.UnixNano(), 10)},
 		"to":   {strconv.FormatInt(to.UnixNano(), 10)},
 	}
@@ -441,16 +443,21 @@ func (c *Client) scan(ctx context.Context, q url.Values, f func(sensors.Record, 
 }
 
 func (c *Client) fallbackRackScan(f func(sensors.Record) bool) error {
-	first, last, ok, err := c.boundsErr()
+	info, err := c.Info()
 	if err != nil {
 		return err
 	}
-	if !ok {
+	if !info.HasData {
 		return nil
 	}
-	to := last.Add(time.Nanosecond)
-	for i := 0; i < topology.NumRacks; i++ {
-		recs, err := c.queryErr(c.ctx, topology.RackByIndex(i), first, to)
+	loc := zoneLocation(info.ZoneOffsetSeconds)
+	first := time.Unix(0, info.FirstUnixNano).In(loc)
+	to := time.Unix(0, info.LastUnixNano).In(loc).Add(time.Nanosecond)
+	// Pre-fleet servers omit the fleet fields; Norm defaults them to the
+	// single-machine 1 × 48 shape.
+	fleet := topology.Fleet{Halls: info.Halls, Racks: info.RacksPerHall}.Norm()
+	for _, rack := range fleet.AllRacks() {
+		recs, err := c.queryErr(c.ctx, rack, first, to)
 		if err != nil {
 			return err
 		}
@@ -461,19 +468,6 @@ func (c *Client) fallbackRackScan(f func(sensors.Record) bool) error {
 		}
 	}
 	return nil
-}
-
-// boundsErr is Bounds without the panic, for fallback paths.
-func (c *Client) boundsErr() (first, last time.Time, ok bool, err error) {
-	info, err := c.Info()
-	if err != nil {
-		return time.Time{}, time.Time{}, false, err
-	}
-	if !info.HasData {
-		return time.Time{}, time.Time{}, false, nil
-	}
-	loc := zoneLocation(info.ZoneOffsetSeconds)
-	return time.Unix(0, info.FirstUnixNano).In(loc), time.Unix(0, info.LastUnixNano).In(loc), true, nil
 }
 
 // EachRecordMerged implements envdb.ShardScanner over the wire: the server
@@ -519,7 +513,7 @@ func (c *Client) fallbackMergedTier(f func(sensors.Record, envdb.Tier) bool) err
 		if ta != tb {
 			return ta < tb
 		}
-		return all[a].Rack.Index() < all[b].Rack.Index()
+		return all[a].Rack.Code() < all[b].Rack.Code()
 	})
 	for _, r := range all {
 		if !f(r, envdb.TierRaw) {

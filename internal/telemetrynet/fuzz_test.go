@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mira/internal/sensors"
+	"mira/internal/topology"
 )
 
 // FuzzDecodeIngestFrame pins the wire decoders' corruption contract:
@@ -26,7 +27,7 @@ func FuzzDecodeIngestFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("MTN1 but not really a frame"))
 	var chunked bytes.Buffer
-	cw := newChunkWriter(&chunked, true, -21600)
+	cw := newChunkWriter(&chunked, true, false, -21600)
 	for _, r := range wireTrace(6) {
 		cw.add(r, 1)
 	}
@@ -52,6 +53,26 @@ func FuzzDecodeIngestFrame(f *testing.F) {
 	hugeChunk := append([]byte(nil), chunked.Bytes()[:12]...)
 	hugeChunk = binary.LittleEndian.AppendUint32(hugeChunk, 0xFFFFFFFF)
 	f.Add(hugeChunk)
+
+	// Fleet-era v2 frames: wide rack codes force the "MTN2" encoding. The
+	// corpus gets a whole valid v2 frame, a frame carrying the widest
+	// encodable rack index, a v2 header truncated mid-record, and a mixed
+	// stream — v1 frame then v2 frame back to back, the shape a server
+	// sees when an upgraded client follows a legacy one on a connection.
+	fleetRecs := wireTrace(4)
+	for i := range fleetRecs {
+		fleetRecs[i].Rack.Hall = 1 + i%3
+	}
+	validV2 := encodeIngestFrame(nil, 78, 4, fleetRecs)
+	f.Add(validV2)
+	wideRecs := wireTrace(1)[:1]
+	wideRecs[0].Rack = topology.RackID{Row: topology.Rows - 1, Col: topology.ColsPerRow - 1, Hall: topology.MaxHalls - 1}
+	f.Add(encodeIngestFrame(nil, 79, 5, wideRecs))
+	f.Add(validV2[:ingestHeaderSize+recordSizeV2/2])
+	f.Add(append(append([]byte(nil), valid...), validV2...))
+	flippedV2 := append([]byte(nil), validV2...)
+	flippedV2[ingestHeaderSize+2] ^= 0xFF // rack-code byte of the first record
+	f.Add(flippedV2)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

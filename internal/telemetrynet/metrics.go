@@ -24,6 +24,8 @@ var (
 		"records streamed to remote scan and query clients")
 	metSlowQueries = obs.NewCounterVec("mira_net_slow_queries_total",
 		"requests at or over the configured slow-query threshold, labeled by endpoint", "endpoint")
+	metDedupClients = obs.NewGauge("mira_net_dedup_clients",
+		"client entries in the LRU-bounded ingest dedup table")
 
 	// Client side.
 	metClientPushBatches = obs.NewCounter("mira_net_client_push_batches_total",

@@ -1,6 +1,7 @@
 package telemetrynet
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -32,7 +33,20 @@ type ServerOptions struct {
 	// SlowLog receives slow-query lines; nil selects os.Stderr. Writes
 	// are serialized by the server.
 	SlowLog io.Writer
+
+	// DedupClients caps the ingest dedup table: at most this many client
+	// entries are remembered, least-recently-active evicted first. <= 0
+	// selects DefaultDedupClients. An evicted client that reappears starts
+	// a fresh watermark; the store's own per-rack time-order check rejects
+	// any genuinely stale replay it might carry.
+	DedupClients int
 }
+
+// DefaultDedupClients bounds the ingest dedup table when
+// ServerOptions.DedupClients is unset. 4096 clients × two words dwarfs any
+// real fleet (one client per simulator process) while keeping a hostile
+// stream of fabricated client IDs from growing server memory without bound.
+const DefaultDedupClients = 4096
 
 // Server exposes an environmental database over HTTP: a batched,
 // CRC-checked, idempotent ingest endpoint plus query endpoints mirroring
@@ -43,22 +57,48 @@ type ServerOptions struct {
 // Every endpoint is safe for concurrent use to the extent the underlying
 // store is; tsdb.Store serves concurrent ingest and queries.
 type Server struct {
-	db   envdb.DB
-	opts ServerOptions
+	db    envdb.DB
+	opts  ServerOptions
+	fleet topology.Fleet // the store's hall × rack shape (1×48 when unknown)
 
-	// seen maps client ID → highest batch sequence applied (or rejected).
-	// The watermark advances before the batch is appended, so a retry of a
-	// push whose response was lost — or of a batch the store rejected — is
-	// dropped as a duplicate instead of double-appending records.
-	mu   sync.Mutex
-	seen map[uint64]uint64
+	// Ingest dedup state: per client, the highest batch sequence committed
+	// (water) plus the set of sequences being applied right now (inflight).
+	// The watermark advances only after the batch lands in the store, so a
+	// rejected or failed batch leaves its (client, seq) token unconsumed
+	// and a corrected retry under the same token is accepted — the store
+	// applies batches all-or-nothing (envdb.BatchAppender), never a prefix.
+	// Clients are LRU-bounded (opts.DedupClients); the list front is the
+	// most recently active client.
+	mu      sync.Mutex
+	clients map[uint64]*list.Element
+	lru     *list.List // of *clientState
 
 	slowMu sync.Mutex // serializes slow-query log lines
 }
 
+// clientState is one client's dedup entry.
+type clientState struct {
+	id       uint64
+	water    uint64              // highest committed batch sequence
+	inflight map[uint64]struct{} // sequences mid-application
+}
+
 // NewServer wraps db in a telemetry service.
 func NewServer(db envdb.DB, opts ServerOptions) *Server {
-	return &Server{db: db, opts: opts, seen: make(map[uint64]uint64)}
+	if opts.DedupClients <= 0 {
+		opts.DedupClients = DefaultDedupClients
+	}
+	fleet := topology.Fleet{}.Norm()
+	if fd, ok := db.(envdb.FleetDescriber); ok {
+		fleet = fd.Fleet().Norm()
+	}
+	return &Server{
+		db:      db,
+		opts:    opts,
+		fleet:   fleet,
+		clients: make(map[uint64]*list.Element),
+		lru:     list.New(),
+	}
 }
 
 // Mount registers the telemetry API on mux under /v1/.
@@ -201,24 +241,101 @@ type IngestResult struct {
 	DuplicateBatches int `json:"duplicate_batches"`
 }
 
-// markSeen records (client, seq) and reports whether the batch is new.
-func (s *Server) markSeen(clientID, seq uint64) bool {
+// batchClaim is beginBatch's verdict on one (client, seq) token.
+type batchClaim int
+
+const (
+	batchNew       batchClaim = iota // apply it
+	batchDuplicate                   // already committed; drop silently
+	batchBusy                        // same token mid-application elsewhere
+)
+
+// beginBatch claims (clientID, seq) for application. A sequence at or
+// below the client's committed watermark is a duplicate; a sequence
+// another request is applying right now is busy (the client should retry
+// after that application settles one way or the other). Otherwise the
+// sequence is marked inflight and the caller must endBatch it.
+func (s *Server) beginBatch(clientID, seq uint64) batchClaim {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if seq <= s.seen[clientID] {
-		return false
+	var st *clientState
+	if el, ok := s.clients[clientID]; ok {
+		s.lru.MoveToFront(el)
+		st = el.Value.(*clientState)
+	} else {
+		st = &clientState{id: clientID, inflight: make(map[uint64]struct{})}
+		s.clients[clientID] = s.lru.PushFront(st)
+		s.evictLocked()
+		metDedupClients.Set(float64(len(s.clients)))
 	}
-	s.seen[clientID] = seq
-	return true
+	if seq <= st.water {
+		return batchDuplicate
+	}
+	if _, busy := st.inflight[seq]; busy {
+		return batchBusy
+	}
+	st.inflight[seq] = struct{}{}
+	return batchNew
+}
+
+// endBatch releases an inflight token, committing the watermark only when
+// the batch landed in the store. A failed batch leaves the token free, so
+// a corrected retry under the same (client, seq) is accepted.
+func (s *Server) endBatch(clientID, seq uint64, committed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.clients[clientID]
+	if !ok {
+		return // unreachable: inflight entries are never evicted
+	}
+	st := el.Value.(*clientState)
+	delete(st.inflight, seq)
+	if committed && seq > st.water {
+		st.water = seq
+	}
+}
+
+// evictLocked drops least-recently-active clients beyond the configured
+// cap, skipping any with inflight batches (their endBatch must find them).
+// Callers hold s.mu.
+func (s *Server) evictLocked() {
+	over := len(s.clients) - s.opts.DedupClients
+	for el := s.lru.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		if st := el.Value.(*clientState); len(st.inflight) == 0 {
+			s.lru.Remove(el)
+			delete(s.clients, st.id)
+			over--
+		}
+		el = prev
+	}
+}
+
+// appendBatch lands one decoded batch in the store: all-or-nothing through
+// envdb.BatchAppender when the store provides it (tsdb.Store and
+// envdb.Store both do), else a plain Append loop — non-atomic, but any
+// partial prefix makes the retried batch fail the store's own time-order
+// check rather than double-append.
+func (s *Server) appendBatch(recs []sensors.Record) error {
+	if ba, ok := s.db.(envdb.BatchAppender); ok {
+		return ba.AppendTick(recs)
+	}
+	for i, rec := range recs {
+		if err := s.db.Append(rec); err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+	}
+	return nil
 }
 
 // handleIngest reads a stream of ingest frames from the request body and
 // appends each new batch to the store. Frames apply in order; the first
 // malformed frame fails the request with 400 (already-applied frames stay
-// applied — the client's retry replays them as deduplicated tokens). An
-// append rejection (e.g. out-of-order telemetry) is the client's data
-// error: 409, and the batch token is consumed so a blind retry does not
-// duplicate the records that did land.
+// applied — the client's retry replays them as deduplicated tokens). A
+// batch the store rejects (e.g. out-of-order telemetry) is the client's
+// data error: 409, the store is left exactly as it was (the batch applies
+// all-or-nothing), and the batch token stays unconsumed so a corrected
+// retry under the same sequence is accepted.
 func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -236,17 +353,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if !s.markSeen(fr.ClientID, fr.Seq) {
+		switch s.beginBatch(fr.ClientID, fr.Seq) {
+		case batchDuplicate:
 			metIngestDuplicates.Inc()
 			res.DuplicateBatches++
 			continue
+		case batchBusy:
+			http.Error(w, fmt.Sprintf("batch %d already being applied", fr.Seq), http.StatusServiceUnavailable)
+			return
 		}
-		for i, rec := range fr.Records {
-			if err := s.db.Append(rec); err != nil {
-				metIngestErrors.Inc()
-				http.Error(w, fmt.Sprintf("batch %d record %d: %v", fr.Seq, i, err), http.StatusConflict)
-				return
-			}
+		err = s.appendBatch(fr.Records)
+		s.endBatch(fr.ClientID, fr.Seq, err == nil)
+		if err != nil {
+			metIngestErrors.Inc()
+			http.Error(w, fmt.Sprintf("batch %d: %v", fr.Seq, err), http.StatusConflict)
+			return
 		}
 		metIngestBatches.Inc()
 		metIngestRecords.Add(uint64(len(fr.Records)))
@@ -259,12 +380,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	json.NewEncoder(w).Encode(res)
 }
 
-// queryParams parses the shared rack/from/to parameters. Times travel as
-// UnixNano integers — exact, zone-free instants.
-func queryParams(req *http.Request) (rack topology.RackID, from, to time.Time, err error) {
+// queryParams parses the shared rack/from/to parameters. The rack travels
+// as its packed code (topology.RackID.Code) — for hall 0 that equals the
+// plain rack index the v1 protocol used, so old clients keep working
+// against single-machine servers. Times travel as UnixNano integers —
+// exact, zone-free instants.
+func (s *Server) queryParams(req *http.Request) (rack topology.RackID, from, to time.Time, err error) {
 	q := req.URL.Query()
-	idx, err := strconv.Atoi(q.Get("rack"))
-	if err != nil || idx < 0 || idx >= topology.NumRacks {
+	code, err := strconv.ParseUint(q.Get("rack"), 10, 16)
+	if err != nil {
+		return rack, from, to, fmt.Errorf("bad rack %q", q.Get("rack"))
+	}
+	rack, err = topology.RackFromCode(uint16(code))
+	if err != nil || !s.fleet.Contains(rack) {
 		return rack, from, to, fmt.Errorf("bad rack %q", q.Get("rack"))
 	}
 	fromN, err := strconv.ParseInt(q.Get("from"), 10, 64)
@@ -275,7 +403,7 @@ func queryParams(req *http.Request) (rack topology.RackID, from, to time.Time, e
 	if err != nil {
 		return rack, from, to, fmt.Errorf("bad to %q", q.Get("to"))
 	}
-	return topology.RackByIndex(idx), time.Unix(0, fromN).UTC(), time.Unix(0, toN).UTC(), nil
+	return rack, time.Unix(0, fromN).UTC(), time.Unix(0, toN).UTC(), nil
 }
 
 func metricParam(req *http.Request) (sensors.Metric, error) {
@@ -312,7 +440,7 @@ func setRangeShape(shape *queryShape, rack topology.RackID, from, to time.Time) 
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
-	rack, from, to, err := queryParams(req)
+	rack, from, to, err := s.queryParams(req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -321,7 +449,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 	setRangeShape(shape, rack, from, to)
 	recs := s.db.Query(rack, from, to)
 	shape.set("rows", strconv.Itoa(len(recs)))
-	cw := newChunkWriter(w, false, s.zoneOff())
+	cw := newChunkWriter(w, false, s.fleet.Halls > 1, s.zoneOff())
 	for _, r := range recs {
 		if err := cw.add(r, 0); err != nil {
 			return // client went away mid-stream
@@ -333,7 +461,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handleSeries(w http.ResponseWriter, req *http.Request) {
-	rack, from, to, err := queryParams(req)
+	rack, from, to, err := s.queryParams(req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -357,7 +485,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "store does not support aggregation pushdown", http.StatusNotImplemented)
 		return
 	}
-	rack, from, to, err := queryParams(req)
+	rack, from, to, err := s.queryParams(req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -425,7 +553,7 @@ func (s *Server) handleScan(w http.ResponseWriter, req *http.Request) {
 	shape.set("order", order)
 	shape.set("tiers", strconv.FormatBool(tiered))
 	shape.set("workers", strconv.Itoa(workers))
-	cw := newChunkWriter(w, tiered, s.zoneOff())
+	cw := newChunkWriter(w, tiered, s.fleet.Halls > 1, s.zoneOff())
 	sent := 0
 	emit := func(r sensors.Record, tier envdb.Tier) bool {
 		if err := cw.add(r, byte(tier)); err != nil {
@@ -476,7 +604,9 @@ func (s *Server) mergedScan(ctx context.Context, workers int, f func(sensors.Rec
 		if ta != tb {
 			return ta < tb
 		}
-		return all[a].Rack.Index() < all[b].Rack.Index()
+		// Packed-code order is hall-major — the same fleet order the
+		// tsdb merged scan yields within an instant.
+		return all[a].Rack.Code() < all[b].Rack.Code()
 	})
 	for _, r := range all {
 		if !f(r, envdb.TierRaw) {
@@ -487,7 +617,7 @@ func (s *Server) mergedScan(ctx context.Context, workers int, f func(sensors.Rec
 }
 
 // Info is the JSON body of /v1/info: the store's record count, time
-// bounds, and calendar zone.
+// bounds, calendar zone, and fleet shape.
 type Info struct {
 	Records           int   `json:"records"`
 	HasData           bool  `json:"has_data"`
@@ -497,10 +627,20 @@ type Info struct {
 	// Aggregator reports whether /v1/aggregate is available, so clients
 	// can fall back to client-side aggregation without a probe request.
 	Aggregator bool `json:"aggregator"`
+	// Halls and RacksPerHall describe the store's fleet shape. Omitted
+	// (zero) only by pre-fleet servers, so clients default both to the
+	// single-machine 1 × 48.
+	Halls        int `json:"halls"`
+	RacksPerHall int `json:"racks_per_hall"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, req *http.Request) {
-	info := Info{Records: s.db.Len(), ZoneOffsetSeconds: s.zoneOff()}
+	info := Info{
+		Records:           s.db.Len(),
+		ZoneOffsetSeconds: s.zoneOff(),
+		Halls:             s.fleet.Halls,
+		RacksPerHall:      s.fleet.Racks,
+	}
 	if agg, ok := s.db.(envdb.Aggregator); ok {
 		info.Aggregator = true
 		if first, last, ok := agg.Bounds(); ok {

@@ -40,18 +40,27 @@ var ErrFrame = errors.New("telemetrynet: malformed frame")
 
 const (
 	// ingestMagic/chunkMagic/seriesMagic/aggMagic version the wire format;
-	// any incompatible change mints new magics.
-	ingestMagic = 0x314E544D // "MTN1" little-endian
-	chunkMagic  = 0x524E544D // "MTNR": record-chunk stream header
-	seriesMagic = 0x534E544D // "MTNS": series response
-	aggMagic    = 0x414E544D // "MTNA": aggregate response
+	// any incompatible change mints new magics. "MTN2" is the fleet-era
+	// ingest frame: identical header, but records carry a uint16 packed
+	// rack code (topology.RackID.Code) instead of a uint8 rack index, so a
+	// pusher can address any hall. Decoders accept both; encoders emit v1
+	// whenever every record lives in hall 0 (a hall-0 code equals the plain
+	// index), keeping single-machine byte streams identical to the v1 era.
+	ingestMagic   = 0x314E544D // "MTN1": v1 ingest, uint8 rack records
+	ingestMagicV2 = 0x324E544D // "MTN2": v2 ingest, uint16 rack-code records
+	chunkMagic    = 0x524E544D // "MTNR": record-chunk stream header
+	seriesMagic   = 0x534E544D // "MTNS": series response
+	aggMagic      = 0x414E544D // "MTNA": aggregate response
 
-	// recordSize is the fixed encoding of one sensors.Record: rack index
+	// recordSize is the fixed v1 encoding of one sensors.Record: rack index
 	// (uint8), UnixNano timestamp (int64), six float64 channel bit
-	// patterns. Little-endian throughout.
-	recordSize = 1 + 8 + 8*int(sensors.NumMetrics)
+	// patterns. Little-endian throughout. The v2 encoding widens the rack
+	// field to a uint16 packed code and leaves everything else in place.
+	recordSize   = 1 + 8 + 8*int(sensors.NumMetrics)
+	recordSizeV2 = 2 + 8 + 8*int(sensors.NumMetrics)
 	// tierRecordSize appends one envdb.Tier byte (scan streams only).
-	tierRecordSize = recordSize + 1
+	tierRecordSize   = recordSize + 1
+	tierRecordSizeV2 = recordSizeV2 + 1
 
 	// ingestHeaderSize: magic, payloadLen, clientID, seq, count, zoneOff.
 	ingestHeaderSize = 4 + 4 + 8 + 8 + 4 + 4
@@ -137,7 +146,30 @@ func appendRecord(buf []byte, r sensors.Record) []byte {
 	return buf
 }
 
-// decodeRecord decodes one fixed-width record; b must hold recordSize bytes.
+// appendRecordWide is the v2 record encoding: the rack travels as its
+// uint16 packed code (hall high byte, within-hall index low byte).
+func appendRecordWide(buf []byte, r sensors.Record) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, r.Rack.Code())
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Time.UnixNano()))
+	for m := 0; m < int(sensors.NumMetrics); m++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value(sensors.Metric(m))))
+	}
+	return buf
+}
+
+// hallZero reports whether every record lives in hall 0, i.e. the batch is
+// expressible in the v1 record encoding.
+func hallZero(recs []sensors.Record) bool {
+	for i := range recs {
+		if recs[i].Rack.Hall != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeRecord decodes one fixed-width v1 record; b must hold recordSize
+// bytes.
 func decodeRecord(b []byte, loc *time.Location) (sensors.Record, error) {
 	idx := int(b[0])
 	if idx >= topology.NumRacks {
@@ -149,6 +181,21 @@ func decodeRecord(b []byte, loc *time.Location) (sensors.Record, error) {
 	}
 	return recordFromValues(topology.RackByIndex(idx),
 		time.Unix(0, int64(binary.LittleEndian.Uint64(b[1:]))).In(loc), vals), nil
+}
+
+// decodeRecordWide decodes one fixed-width v2 record; b must hold
+// recordSizeV2 bytes.
+func decodeRecordWide(b []byte, loc *time.Location) (sensors.Record, error) {
+	rack, err := topology.RackFromCode(binary.LittleEndian.Uint16(b))
+	if err != nil {
+		return sensors.Record{}, frameErr("%v", err)
+	}
+	var vals [sensors.NumMetrics]float64
+	for m := range vals {
+		vals[m] = math.Float64frombits(binary.LittleEndian.Uint64(b[10+8*m:]))
+	}
+	return recordFromValues(rack,
+		time.Unix(0, int64(binary.LittleEndian.Uint64(b[2:]))).In(loc), vals), nil
 }
 
 // recordFromValues assembles a Record from its six channel values in
@@ -175,17 +222,27 @@ type ingestFrame struct {
 
 // encodeIngestFrame appends one ingest frame for recs to buf. The zone
 // offset is taken from the first record (one simulator feeds one frame, so
-// a batch never mixes zones).
+// a batch never mixes zones). A batch confined to hall 0 encodes as a v1
+// frame — byte-identical to the pre-fleet protocol — and anything touching
+// a higher hall encodes as v2 with wide rack codes.
 func encodeIngestFrame(buf []byte, clientID, seq uint64, recs []sensors.Record) []byte {
+	magic, rsize := uint32(ingestMagic), recordSize
+	if !hallZero(recs) {
+		magic, rsize = ingestMagicV2, recordSizeV2
+	}
 	start := len(buf)
-	buf = binary.LittleEndian.AppendUint32(buf, ingestMagic)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)*recordSize))
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)*rsize))
 	buf = binary.LittleEndian.AppendUint64(buf, clientID)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(zoneOffset(recs[0].Time)))
 	for _, r := range recs {
-		buf = appendRecord(buf, r)
+		if magic == ingestMagicV2 {
+			buf = appendRecordWide(buf, r)
+		} else {
+			buf = appendRecord(buf, r)
+		}
 	}
 	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
 }
@@ -204,7 +261,12 @@ func decodeIngestFrame(r io.Reader) (ingestFrame, error) {
 	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
 		return ingestFrame{}, frameErr("reading header: %v", err)
 	}
-	if m := binary.LittleEndian.Uint32(hdr[0:]); m != ingestMagic {
+	rsize := recordSize
+	switch m := binary.LittleEndian.Uint32(hdr[0:]); m {
+	case ingestMagic:
+	case ingestMagicV2:
+		rsize = recordSizeV2
+	default:
 		return ingestFrame{}, frameErr("bad magic %#x", m)
 	}
 	payloadLen := binary.LittleEndian.Uint32(hdr[4:])
@@ -215,7 +277,7 @@ func decodeIngestFrame(r io.Reader) (ingestFrame, error) {
 	if count == 0 || count > maxFrameRecords {
 		return ingestFrame{}, frameErr("record count %d out of range [1, %d]", count, maxFrameRecords)
 	}
-	need, err := frameLen("record", count, recordSize, 4, maxFrameRecords)
+	need, err := frameLen("record", count, rsize, 4, maxFrameRecords)
 	if err != nil {
 		return ingestFrame{}, err
 	}
@@ -235,7 +297,11 @@ func decodeIngestFrame(r io.Reader) (ingestFrame, error) {
 	recs := make([]sensors.Record, count)
 	for i := range recs {
 		var err error
-		recs[i], err = decodeRecord(body[i*recordSize:], loc)
+		if rsize == recordSizeV2 {
+			recs[i], err = decodeRecordWide(body[i*rsize:], loc)
+		} else {
+			recs[i], err = decodeRecord(body[i*rsize:], loc)
+		}
 		if err != nil {
 			return ingestFrame{}, fmt.Errorf("record %d: %w", i, err)
 		}
@@ -247,26 +313,36 @@ func decodeIngestFrame(r io.Reader) (ingestFrame, error) {
 // header (magic, flags, zone offset) followed by chunks of
 // [count uint32 | payload | crc32], terminated by a zero-count chunk whose
 // CRC covers just the count. Flag bit 0 marks tiered records (one
-// envdb.Tier byte appended to each record).
+// envdb.Tier byte appended to each record); flag bit 1 marks wide-rack
+// records (v2 encoding, uint16 packed rack code). Servers set the wide
+// flag only for multi-hall stores, so single-machine response streams stay
+// byte-identical to the v1 era.
 type chunkWriter struct {
 	w       io.Writer
 	buf     []byte
 	count   uint32
 	tiered  bool
+	wide    bool
 	started bool
 	zoneOff int32
 }
 
-const chunkFlagTiered = 1
+const (
+	chunkFlagTiered   = 1
+	chunkFlagWideRack = 2
+)
 
-func newChunkWriter(w io.Writer, tiered bool, zoneOff int32) *chunkWriter {
-	return &chunkWriter{w: w, tiered: tiered, zoneOff: zoneOff}
+func newChunkWriter(w io.Writer, tiered, wide bool, zoneOff int32) *chunkWriter {
+	return &chunkWriter{w: w, tiered: tiered, wide: wide, zoneOff: zoneOff}
 }
 
 func (cw *chunkWriter) header() []byte {
 	var flags uint32
 	if cw.tiered {
 		flags |= chunkFlagTiered
+	}
+	if cw.wide {
+		flags |= chunkFlagWideRack
 	}
 	hdr := binary.LittleEndian.AppendUint32(nil, chunkMagic)
 	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
@@ -281,7 +357,11 @@ func (cw *chunkWriter) add(r sensors.Record, tier byte) error {
 		}
 		cw.buf = binary.LittleEndian.AppendUint32(cw.buf[:0], 0) // count placeholder
 	}
-	cw.buf = appendRecord(cw.buf, r)
+	if cw.wide {
+		cw.buf = appendRecordWide(cw.buf, r)
+	} else {
+		cw.buf = appendRecord(cw.buf, r)
+	}
 	if cw.tiered {
 		cw.buf = append(cw.buf, tier)
 	}
@@ -334,11 +414,17 @@ func readChunkStream(r io.Reader, f func(rec sensors.Record, tier byte) bool) er
 	if m := binary.LittleEndian.Uint32(hdr[0:]); m != chunkMagic {
 		return frameErr("bad stream magic %#x", m)
 	}
-	tiered := binary.LittleEndian.Uint32(hdr[4:])&chunkFlagTiered != 0
+	flags := binary.LittleEndian.Uint32(hdr[4:])
+	tiered := flags&chunkFlagTiered != 0
+	wide := flags&chunkFlagWideRack != 0
 	loc := zoneLocation(int32(binary.LittleEndian.Uint32(hdr[8:])))
-	size := recordSize
+	rsize := recordSize
+	if wide {
+		rsize = recordSizeV2
+	}
+	size := rsize
 	if tiered {
-		size = tierRecordSize
+		size++
 	}
 	var chunk []byte
 	for {
@@ -367,13 +453,19 @@ func readChunkStream(r io.Reader, f func(rec sensors.Record, tier byte) bool) er
 			return nil // terminator
 		}
 		for i := 0; i < int(count); i++ {
-			rec, err := decodeRecord(chunk[i*size:], loc)
+			var rec sensors.Record
+			var err error
+			if wide {
+				rec, err = decodeRecordWide(chunk[i*size:], loc)
+			} else {
+				rec, err = decodeRecord(chunk[i*size:], loc)
+			}
 			if err != nil {
 				return err
 			}
 			var tier byte
 			if tiered {
-				tier = chunk[i*size+recordSize]
+				tier = chunk[i*size+rsize]
 			}
 			if !f(rec, tier) {
 				return nil

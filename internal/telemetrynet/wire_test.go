@@ -120,7 +120,7 @@ func TestChunkStreamRoundTrip(t *testing.T) {
 	recs := wireTrace(113)
 	for _, tiered := range []bool{false, true} {
 		var buf bytes.Buffer
-		cw := newChunkWriter(&buf, tiered, zoneOffset(recs[0].Time))
+		cw := newChunkWriter(&buf, tiered, false, zoneOffset(recs[0].Time))
 		for i, r := range recs {
 			if err := cw.add(r, byte(i%2)); err != nil {
 				t.Fatal(err)
@@ -168,7 +168,7 @@ func TestChunkStreamRoundTrip(t *testing.T) {
 func TestChunkStreamEarlyStop(t *testing.T) {
 	recs := wireTrace(20)
 	var buf bytes.Buffer
-	cw := newChunkWriter(&buf, false, 0)
+	cw := newChunkWriter(&buf, false, false, 0)
 	for _, r := range recs {
 		if err := cw.add(r, 0); err != nil {
 			t.Fatal(err)
@@ -191,7 +191,7 @@ func TestChunkStreamEarlyStop(t *testing.T) {
 
 func TestEmptyChunkStream(t *testing.T) {
 	var buf bytes.Buffer
-	if err := newChunkWriter(&buf, false, -21600).close(); err != nil {
+	if err := newChunkWriter(&buf, false, false, -21600).close(); err != nil {
 		t.Fatal(err)
 	}
 	calls := 0

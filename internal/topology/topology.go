@@ -39,25 +39,37 @@ const (
 	// IONRacks is the number of air-cooled I/O forwarding-node racks (two
 	// at the end of each row).
 	IONRacks = 6
+	// MaxHalls bounds the fleet size so a rack identity packs into a
+	// uint16 wire code (hall byte + within-hall index byte).
+	MaxHalls = 256
 )
 
 // RackID identifies a compute rack by row (0–2) and column (0–15). The paper
 // writes racks as (row, column) with hexadecimal columns, e.g. (1, 8) or
-// (0, D).
+// (0, D). A fleet deployment (several Mira-class machines feeding one store)
+// qualifies the coordinates with a hall number; the zero Hall is the paper's
+// single machine, so existing RackID literals and comparisons are unchanged.
 type RackID struct {
 	Row int
 	Col int
+	// Hall is the machine-hall number in a multi-hall fleet (0 for the
+	// single-machine layout the paper studies).
+	Hall int
 }
 
-// Valid reports whether the rack coordinates are on the floor.
+// Valid reports whether the rack coordinates are on the floor of its hall.
 func (r RackID) Valid() bool {
-	return r.Row >= 0 && r.Row < Rows && r.Col >= 0 && r.Col < ColsPerRow
+	return r.Row >= 0 && r.Row < Rows && r.Col >= 0 && r.Col < ColsPerRow &&
+		r.Hall >= 0 && r.Hall < MaxHalls
 }
 
-// Index returns the dense index of the rack in [0, NumRacks).
+// Index returns the dense within-hall index of the rack in [0, NumRacks).
+// Fleet.GlobalIndex maps a rack to its fleet-wide shard index; everything
+// that models a single machine (simulation, airflow, clock graph, analysis)
+// keeps using the within-hall index.
 func (r RackID) Index() int { return r.Row*ColsPerRow + r.Col }
 
-// RackByIndex returns the RackID for a dense index in [0, NumRacks).
+// RackByIndex returns the hall-0 RackID for a dense index in [0, NumRacks).
 // It panics on an out-of-range index (programmer error).
 func RackByIndex(i int) RackID {
 	if i < 0 || i >= NumRacks {
@@ -66,8 +78,33 @@ func RackByIndex(i int) RackID {
 	return RackID{Row: i / ColsPerRow, Col: i % ColsPerRow}
 }
 
+// Code packs a valid rack identity into the fleet-wide uint16 wire code:
+// high byte hall, low byte within-hall index. Numeric code order equals
+// (hall, index) order, which is the fleet-wide shard order, so codes sort
+// the same way merged scans do.
+func (r RackID) Code() uint16 {
+	return uint16(r.Hall)<<8 | uint16(r.Index())
+}
+
+// RackFromCode inverts Code. It errors on a low byte that is not a valid
+// within-hall index (the hall byte is validated against a concrete Fleet by
+// the caller, if it has one).
+func RackFromCode(code uint16) (RackID, error) {
+	idx := int(code & 0xFF)
+	if idx >= NumRacks {
+		return RackID{}, fmt.Errorf("topology: rack code %#04x has within-hall index %d out of range", code, idx)
+	}
+	r := RackByIndex(idx)
+	r.Hall = int(code >> 8)
+	return r, nil
+}
+
 // String renders the paper's (row, hex-column) notation, e.g. "(0,D)".
+// Racks outside hall 0 carry a hall prefix, e.g. "h2(0,D)".
 func (r RackID) String() string {
+	if r.Hall != 0 {
+		return fmt.Sprintf("h%d(%d,%c)", r.Hall, r.Row, hexDigit(r.Col))
+	}
 	return fmt.Sprintf("(%d,%c)", r.Row, hexDigit(r.Col))
 }
 
@@ -80,9 +117,29 @@ func hexDigit(c int) byte {
 }
 
 // ParseRackID parses the "(row,col)" notation, accepting hex column digits
-// in either case.
+// in either case, with an optional "h<hall>" prefix for fleet racks, e.g.
+// "h2(1,4)".
 func ParseRackID(s string) (RackID, error) {
 	t := strings.TrimSpace(s)
+	hall := 0
+	if strings.HasPrefix(t, "h") || strings.HasPrefix(t, "H") {
+		open := strings.IndexByte(t, '(')
+		if open < 2 {
+			return RackID{}, fmt.Errorf("topology: malformed rack id %q", s)
+		}
+		n := 0
+		for _, c := range t[1:open] {
+			if c < '0' || c > '9' {
+				return RackID{}, fmt.Errorf("topology: bad hall in rack id %q", s)
+			}
+			n = n*10 + int(c-'0')
+			if n >= MaxHalls {
+				return RackID{}, fmt.Errorf("topology: hall out of range in rack id %q", s)
+			}
+		}
+		hall = n
+		t = t[open:]
+	}
 	t = strings.TrimPrefix(t, "(")
 	t = strings.TrimSuffix(t, ")")
 	parts := strings.Split(t, ",")
@@ -104,7 +161,7 @@ func ParseRackID(s string) (RackID, error) {
 	if col < 0 {
 		return RackID{}, fmt.Errorf("topology: bad column in rack id %q", s)
 	}
-	return RackID{Row: int(rowStr[0] - '0'), Col: col}, nil
+	return RackID{Row: int(rowStr[0] - '0'), Col: col, Hall: hall}, nil
 }
 
 // AllRacks returns every compute rack in dense-index order.
@@ -124,6 +181,74 @@ func RowRacks(row int) []RackID {
 	out := make([]RackID, ColsPerRow)
 	for c := range out {
 		out[c] = RackID{Row: row, Col: c}
+	}
+	return out
+}
+
+// Fleet parameterizes a deployment as halls × racks-per-hall. The zero
+// value means the paper's single 48-rack machine (1 hall × NumRacks), so
+// existing call sites that never mention halls keep their exact behavior.
+// Racks within a hall are the first Racks entries of the Mira floor in
+// dense-index order; every hall has the same layout.
+type Fleet struct {
+	// Halls is the number of machine halls (1..MaxHalls); 0 means 1.
+	Halls int
+	// Racks is the number of racks per hall (1..NumRacks); 0 means NumRacks.
+	Racks int
+}
+
+// Norm returns f with zero fields replaced by the single-machine defaults.
+// It panics on out-of-range values (programmer/flag-validation error).
+func (f Fleet) Norm() Fleet {
+	if f.Halls == 0 {
+		f.Halls = 1
+	}
+	if f.Racks == 0 {
+		f.Racks = NumRacks
+	}
+	if f.Halls < 1 || f.Halls > MaxHalls || f.Racks < 1 || f.Racks > NumRacks {
+		panic(fmt.Sprintf("topology: fleet %d halls × %d racks out of range", f.Halls, f.Racks))
+	}
+	return f
+}
+
+// NumRacks is the fleet-wide rack (and store shard) count.
+func (f Fleet) NumRacks() int {
+	f = f.Norm()
+	return f.Halls * f.Racks
+}
+
+// Contains reports whether r is a rack of this fleet.
+func (f Fleet) Contains(r RackID) bool {
+	f = f.Norm()
+	return r.Valid() && r.Hall < f.Halls && r.Index() < f.Racks
+}
+
+// GlobalIndex returns the fleet-wide dense shard index of r, in
+// [0, f.NumRacks()), ordered hall-major. The caller must ensure
+// f.Contains(r).
+func (f Fleet) GlobalIndex(r RackID) int {
+	f = f.Norm()
+	return r.Hall*f.Racks + r.Index()
+}
+
+// RackAt inverts GlobalIndex. It panics on an out-of-range index.
+func (f Fleet) RackAt(global int) RackID {
+	f = f.Norm()
+	if global < 0 || global >= f.Halls*f.Racks {
+		panic(fmt.Sprintf("topology: fleet rack index %d out of range", global))
+	}
+	r := RackByIndex(global % f.Racks)
+	r.Hall = global / f.Racks
+	return r
+}
+
+// AllRacks returns every fleet rack in GlobalIndex order.
+func (f Fleet) AllRacks() []RackID {
+	f = f.Norm()
+	out := make([]RackID, f.NumRacks())
+	for i := range out {
+		out[i] = f.RackAt(i)
 	}
 	return out
 }

@@ -59,11 +59,13 @@ func TestRackIDString(t *testing.T) {
 		r    RackID
 		want string
 	}{
-		{RackID{0, 13}, "(0,D)"},
-		{RackID{1, 8}, "(1,8)"},
-		{RackID{2, 7}, "(2,7)"},
-		{RackID{0, 10}, "(0,A)"},
-		{RackID{1, 4}, "(1,4)"},
+		{RackID{Row: 0, Col: 13}, "(0,D)"},
+		{RackID{Row: 1, Col: 8}, "(1,8)"},
+		{RackID{Row: 2, Col: 7}, "(2,7)"},
+		{RackID{Row: 0, Col: 10}, "(0,A)"},
+		{RackID{Row: 1, Col: 4}, "(1,4)"},
+		{RackID{Row: 0, Col: 13, Hall: 2}, "h2(0,D)"},
+		{RackID{Row: 1, Col: 4, Hall: 17}, "h17(1,4)"},
 	}
 	for _, tc := range cases {
 		if got := tc.r.String(); got != tc.want {
@@ -73,7 +75,7 @@ func TestRackIDString(t *testing.T) {
 }
 
 func TestParseRackID(t *testing.T) {
-	for _, s := range []string{"(0,D)", "(1,8)", "(2,f)", " (0, A) "} {
+	for _, s := range []string{"(0,D)", "(1,8)", "(2,f)", " (0, A) ", "h3(1,8)", "h255(0,0)"} {
 		r, err := ParseRackID(s)
 		if err != nil {
 			t.Errorf("ParseRackID(%q): %v", s, err)
@@ -83,22 +85,88 @@ func TestParseRackID(t *testing.T) {
 			t.Errorf("ParseRackID(%q) = %v invalid", s, r)
 		}
 	}
-	for _, s := range []string{"", "(3,0)", "(0,G)", "(0)", "0,1,2"} {
+	for _, s := range []string{"", "(3,0)", "(0,G)", "(0)", "0,1,2", "h(0,0)", "hx(0,0)", "h256(0,0)"} {
 		if _, err := ParseRackID(s); err == nil {
 			t.Errorf("ParseRackID(%q) should fail", s)
 		}
 	}
+	if r, err := ParseRackID("h3(1,8)"); err != nil || r != (RackID{Row: 1, Col: 8, Hall: 3}) {
+		t.Errorf("ParseRackID(h3(1,8)) = %v, %v", r, err)
+	}
 }
 
 func TestParseStringRoundTrip(t *testing.T) {
-	f := func(i uint) bool {
+	f := func(i, h uint) bool {
 		r := RackByIndex(int(i % NumRacks))
+		r.Hall = int(h % MaxHalls)
 		parsed, err := ParseRackID(r.String())
 		return err == nil && parsed == r
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+func TestRackCodeRoundTrip(t *testing.T) {
+	for _, r := range []RackID{
+		{Row: 0, Col: 0},
+		{Row: 2, Col: 15},
+		{Row: 1, Col: 4, Hall: 3},
+		{Row: 0, Col: 13, Hall: 255},
+	} {
+		got, err := RackFromCode(r.Code())
+		if err != nil || got != r {
+			t.Errorf("RackFromCode(Code(%v)) = %v, %v", r, got, err)
+		}
+	}
+	// Hall-0 codes equal the plain within-hall index, preserving the v1
+	// wire encoding's rack byte.
+	if c := (RackID{Row: 0, Col: 13}).Code(); c != 13 {
+		t.Errorf("hall-0 code = %d, want 13", c)
+	}
+	if _, err := RackFromCode(0x0130); err == nil {
+		t.Error("RackFromCode should reject within-hall index 48")
+	}
+}
+
+func TestFleet(t *testing.T) {
+	var zero Fleet
+	if zero.NumRacks() != NumRacks {
+		t.Errorf("zero fleet racks = %d", zero.NumRacks())
+	}
+	if got := zero.Norm(); got.Halls != 1 || got.Racks != NumRacks {
+		t.Errorf("zero fleet norm = %+v", got)
+	}
+	f := Fleet{Halls: 4, Racks: 48}
+	if f.NumRacks() != 192 {
+		t.Fatalf("fleet racks = %d", f.NumRacks())
+	}
+	for g := 0; g < f.NumRacks(); g++ {
+		r := f.RackAt(g)
+		if !f.Contains(r) {
+			t.Fatalf("RackAt(%d) = %v not contained", g, r)
+		}
+		if f.GlobalIndex(r) != g {
+			t.Fatalf("GlobalIndex(RackAt(%d)) = %d", g, f.GlobalIndex(r))
+		}
+	}
+	if f.Contains(RackID{Row: 0, Col: 0, Hall: 4}) {
+		t.Error("hall 4 should be outside a 4-hall fleet")
+	}
+	small := Fleet{Halls: 2, Racks: 8}
+	if small.Contains(RackID{Row: 0, Col: 8}) {
+		t.Error("within-hall index 8 should be outside an 8-rack hall")
+	}
+	all := f.AllRacks()
+	if len(all) != 192 || all[0] != (RackID{}) || all[48].Hall != 1 {
+		t.Errorf("AllRacks: len=%d first=%v [48]=%v", len(all), all[0], all[48])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range fleet should panic on Norm")
+		}
+	}()
+	Fleet{Halls: MaxHalls + 1}.Norm()
 }
 
 func TestAllRacksAndRows(t *testing.T) {

@@ -298,7 +298,7 @@ func (cm *chunkMerger) roundsAligned() bool {
 	racks := c.Racks[w : w+kn]
 	tiers := c.Tiers[w : w+kn]
 	for si, st := range active {
-		racks[si] = uint8(st.rackIdx)
+		racks[si] = st.rackCode
 		tiers[si] = st.cur.tier
 	}
 	for f := nA; f < kn; f *= 2 {
@@ -348,7 +348,7 @@ func (cm *chunkMerger) emitTied(t0 int64, tied int) {
 			continue
 		}
 		times[w] = t0
-		racks[w] = uint8(st.rackIdx)
+		racks[w] = st.rackCode
 		tiers[w] = run.tier
 		for m := range c.Cols {
 			c.Cols[m][w] = run.cols[m][p]
@@ -387,7 +387,7 @@ func (cm *chunkMerger) growChunk(w int) {
 // returns false when the stream is exhausted or failed.
 func (cm *chunkMerger) emit(st *ShardStream, limit int64) bool {
 	c := &cm.chunk
-	rackIdx := uint8(st.rackIdx)
+	rackCode := st.rackCode
 	for {
 		run := &st.cur
 		i, hi, times := st.pos, run.hi, run.times
@@ -397,7 +397,7 @@ func (cm *chunkMerger) emit(st *ShardStream, limit int64) bool {
 		if n := i - st.pos; n > 0 {
 			c.Times = append(c.Times, times[st.pos:i]...)
 			for k := 0; k < n; k++ {
-				c.Racks = append(c.Racks, rackIdx)
+				c.Racks = append(c.Racks, rackCode)
 				c.Tiers = append(c.Tiers, run.tier)
 			}
 			for m := range c.Cols {

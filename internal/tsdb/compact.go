@@ -149,10 +149,16 @@ func (s *Store) CompactBefore(dir string, cutoff time.Time) (CompactStats, error
 			return st, err
 		}
 		if dir != "" {
-			name := filepath.Join(dir, coldSegFileName(i))
+			shardDir, fi := s.segPlace(dir, i)
+			if shardDir != dir {
+				if err := os.MkdirAll(shardDir, 0o755); err != nil {
+					return st, fmt.Errorf("tsdb: compact shard %d: %w", i, err)
+				}
+			}
+			name := filepath.Join(shardDir, coldSegFileName(fi))
 			tmp := name + ".tmp"
 			allCold := append(append([]*downBlock(nil), cold...), d)
-			if _, err := writeColdSegment(tmp, i, loc, allCold); err != nil {
+			if _, err := writeColdSegment(tmp, fi, loc, allCold); err != nil {
 				return st, err
 			}
 			if f := compactFailAfterColdWrite; f != nil {
@@ -172,9 +178,9 @@ func (s *Store) CompactBefore(dir string, cutoff time.Time) (CompactStats, error
 			// have sealed new blocks since the snapshot; they were not on
 			// disk before this and will persist at the next Flush, exactly as
 			// without compaction.
-			rawName := filepath.Join(dir, segFileName(i))
+			rawName := filepath.Join(shardDir, segFileName(fi))
 			if len(sealed) > k {
-				if _, err := writeSegment(dir, i, loc, sealed[k:]); err != nil {
+				if _, err := writeSegment(shardDir, fi, loc, sealed[k:]); err != nil {
 					return st, err
 				}
 			} else if err := os.Remove(rawName); err != nil && !os.IsNotExist(err) {
@@ -221,7 +227,8 @@ func (s *Store) CompactBefore(dir string, cutoff time.Time) (CompactStats, error
 	return st, nil
 }
 
-// dirSegBytes sums the on-disk size of all segment files under dir.
+// dirSegBytes sums the on-disk size of all segment files under dir,
+// including hall-HH subdirectories of a fleet layout.
 func dirSegBytes(dir string) (int64, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -230,6 +237,14 @@ func dirSegBytes(dir string) (int64, error) {
 	var n int64
 	for _, e := range entries {
 		if e.IsDir() {
+			if ok, _ := filepath.Match("hall-*", e.Name()); !ok {
+				continue
+			}
+			sub, err := dirSegBytes(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return 0, err
+			}
+			n += sub
 			continue
 		}
 		if ok, _ := filepath.Match("shard-*.seg", e.Name()); !ok {

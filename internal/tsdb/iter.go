@@ -36,7 +36,7 @@ type Iter struct {
 // Iter returns a streaming iterator over one rack's records in [from, to).
 func (s *Store) Iter(rack topology.RackID, from, to time.Time) *Iter {
 	s.init()
-	return s.iterShard(rack, &s.shards[rack.Index()], from.UnixNano(), to.UnixNano())
+	return s.iterShard(rack, s.readShard(rack), from.UnixNano(), to.UnixNano())
 }
 
 func (s *Store) iterShard(rack topology.RackID, sh *shard, fromN, toN int64) *Iter {
@@ -221,7 +221,7 @@ func (s *Store) aggregate(rack topology.RackID, m sensors.Metric, from, to time.
 	scale := s.scales[m]
 	exact := scale > 0
 	sumsI := make([]int64, nWin)
-	snap := s.shards[rack.Index()].snapshot()
+	snap := s.readShard(rack).snapshot()
 	for _, bv := range snap.blocks() {
 		minT, maxT := bv.bounds()
 		if minT >= toN {

@@ -11,7 +11,6 @@ import (
 	"fmt"
 
 	"mira/internal/obs"
-	"mira/internal/topology"
 )
 
 var (
@@ -76,6 +75,7 @@ func (s *Store) ExposeGauges(reg *obs.Registry) {
 		diskBytes    = reg.Gauge("mira_tsdb_disk_bytes", "segment-file footprint as of the last Flush or Open")
 		perSample    = reg.Gauge("mira_tsdb_compressed_bytes_per_sample", "sealed bytes per (timestamp, value) sample")
 		shardSamples = reg.GaugeVec("mira_tsdb_shard_samples", "stored samples per shard (rack), for ingest-skew checks", "shard")
+		hallSamples  = reg.GaugeVec("mira_tsdb_hall_samples", "stored samples per machine hall, for fleet ingest-skew checks", "hall")
 		coldBlocks   = reg.Gauge("mira_tsdb_cold_blocks", "downsampled blocks across all shards")
 		coldWindows  = reg.Gauge("mira_tsdb_cold_windows", "downsampled windows across all shards")
 		coldSource   = reg.Gauge("mira_tsdb_cold_source_records", "raw records folded into the downsampled tier")
@@ -93,15 +93,24 @@ func (s *Store) ExposeGauges(reg *obs.Registry) {
 		coldWindows.Set(float64(st.ColdWindows))
 		coldSource.Set(float64(st.ColdSourceRecords))
 		coldBytes.Set(float64(st.ColdBytes))
-		for i, n := range s.shardTotals() {
+		totals := s.shardTotals()
+		for i, n := range totals {
 			shardSamples.With(fmt.Sprintf("%02d", i)).Set(float64(n))
+		}
+		fleet := s.Fleet()
+		for h := 0; h < fleet.Halls; h++ {
+			sum := 0
+			for _, n := range totals[h*fleet.Racks : (h+1)*fleet.Racks] {
+				sum += n
+			}
+			hallSamples.With(fmt.Sprintf("%02d", h)).Set(float64(sum))
 		}
 	})
 }
 
 // shardTotals reads each shard's stored-record count under its read lock.
-func (s *Store) shardTotals() [topology.NumRacks]int {
-	var out [topology.NumRacks]int
+func (s *Store) shardTotals() []int {
+	out := make([]int, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()

@@ -73,7 +73,8 @@ var arenaPool = sync.Pool{New: func() any { return new([2]scanArena) }}
 // ScanShards and consumed by MergeByTime.
 type ShardStream struct {
 	rack       topology.RackID
-	rackIdx    int
+	rackIdx    int    // fleet-wide shard index: the merge tie-break key
+	rackCode   uint16 // packed wire identity (topology.RackID.Code)
 	loc        *time.Location
 	fromN, toN int64
 	pool       *scanPool
@@ -320,28 +321,30 @@ func (s *Store) ScanShardsWhereCtx(ctx context.Context, from, to time.Time, work
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	workers = normWorkers(workers, topology.NumRacks)
+	workers = normWorkers(workers, len(s.shards))
 	metScanWorkers.Set(float64(workers))
-	pool := newScanPool(workers, topology.NumRacks)
+	pool := newScanPool(workers, len(s.shards))
 	pool.ctx = ctx
 	pool.stats = envdb.ScanStatsFrom(ctx)
 	_, pool.traced = obs.SpanContextFrom(ctx)
 	fromN, toN := from.UnixNano(), to.UnixNano()
 	loc := s.location()
-	streams := make([]*ShardStream, topology.NumRacks)
+	streams := make([]*ShardStream, len(s.shards))
 	for i := range streams {
 		snap := s.shards[i].snapshot()
+		rack := s.fleet.RackAt(i)
 		streams[i] = &ShardStream{
-			rack:    topology.RackByIndex(i),
-			rackIdx: i,
-			loc:     loc,
-			fromN:   fromN,
-			toN:     toN,
-			pool:    pool,
-			pred:    pred,
-			blocks:  snap.blocks(),
-			resCh:   make(chan scanRun, 1),
-			arenas:  arenaPool.Get().(*[2]scanArena),
+			rack:     rack,
+			rackIdx:  i,
+			rackCode: rack.Code(),
+			loc:      loc,
+			fromN:    fromN,
+			toN:      toN,
+			pool:     pool,
+			pred:     pred,
+			blocks:   snap.blocks(),
+			resCh:    make(chan scanRun, 1),
+			arenas:   arenaPool.Get().(*[2]scanArena),
 		}
 	}
 	pool.streams = streams

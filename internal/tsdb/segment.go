@@ -104,6 +104,20 @@ const (
 
 func segFileName(shard int) string     { return fmt.Sprintf("shard-%02d.seg", shard) }
 func coldSegFileName(shard int) string { return fmt.Sprintf("shard-%02d.cold.seg", shard) }
+func hallDirName(hall int) string      { return fmt.Sprintf("hall-%02d", hall) }
+
+// segPlace maps a fleet-wide shard index to its on-disk home: the segment
+// directory itself for a single-hall store (the layout every pre-fleet
+// segment tree uses), or a hall-HH subdirectory holding that hall's shards
+// under their within-hall indices. Segment file headers always carry the
+// within-hall index, so a hall directory is self-contained and hall-0 trees
+// stay byte-compatible with single-machine ones.
+func (s *Store) segPlace(dir string, global int) (shardDir string, fileShard int) {
+	if s.fleet.Halls == 1 {
+		return dir, global
+	}
+	return filepath.Join(dir, hallDirName(global/s.fleet.Racks)), global % s.fleet.Racks
+}
 
 // Flush seals every head block and persists all sealed blocks to per-shard
 // segment files under dir (created if missing), replacing existing segments
@@ -118,21 +132,29 @@ func (s *Store) Flush(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("tsdb: flush: %w", err)
 	}
+	if s.fleet.Halls > 1 {
+		for h := 0; h < s.fleet.Halls; h++ {
+			if err := os.MkdirAll(filepath.Join(dir, hallDirName(h)), 0o755); err != nil {
+				return fmt.Errorf("tsdb: flush: %w", err)
+			}
+		}
+	}
 	loc := s.location()
 	var disk int64
 	for i := range s.shards {
 		snap := s.shards[i].snapshot()
+		shardDir, fi := s.segPlace(dir, i)
 		if len(snap.sealed) > 0 {
-			n, err := writeSegment(dir, i, loc, snap.sealed)
+			n, err := writeSegment(shardDir, fi, loc, snap.sealed)
 			if err != nil {
 				return err
 			}
 			disk += n
 		}
 		if len(snap.cold) > 0 {
-			name := filepath.Join(dir, coldSegFileName(i))
+			name := filepath.Join(shardDir, coldSegFileName(fi))
 			tmp := name + ".tmp"
-			n, err := writeColdSegment(tmp, i, loc, snap.cold)
+			n, err := writeColdSegment(tmp, fi, loc, snap.cold)
 			if err != nil {
 				return err
 			}
@@ -240,69 +262,35 @@ func writeSegment(dir string, shard int, loc *time.Location, blocks []*sealedBlo
 // buffers and decompress on first touch. Appending resumes after each
 // shard's persisted maximum timestamp. A directory with no segment files
 // (or a missing directory) returns an error wrapping ErrNoData; corrupted
-// or truncated segments return errors wrapping ErrCorrupt.
+// or truncated segments return errors wrapping ErrCorrupt. Multi-hall
+// stores (opts.Fleet.Halls > 1) read each hall's shards from its hall-HH
+// subdirectory; halls with no data yet are simply empty.
 func Open(dir string, opts Options) (*Store, error) {
 	s := NewStoreWith(opts)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, fmt.Errorf("tsdb: open %s: %w", dir, ErrNoData)
-		}
-		return nil, fmt.Errorf("tsdb: open %s: %w", dir, err)
-	}
 	var disk int64
 	loaded := 0
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		// The raw pattern below also matches cold segment names, so the
-		// cold suffix must be routed first.
-		if ok, _ := filepath.Match("shard-*.cold.seg", e.Name()); ok {
-			path := filepath.Join(dir, e.Name())
-			buf, err := os.ReadFile(path)
+	if s.fleet.Halls > 1 {
+		for h := 0; h < s.fleet.Halls; h++ {
+			n, cnt, err := s.loadSegDir(filepath.Join(dir, hallDirName(h)), h*s.fleet.Racks)
 			if err != nil {
-				return nil, fmt.Errorf("tsdb: open: %w", err)
-			}
-			shard, blocks, loc, err := parseColdSegment(e.Name(), buf)
-			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					continue // hall with nothing persisted yet
+				}
 				return nil, err
 			}
-			sh := &s.shards[shard]
-			if len(sh.cold) > 0 {
-				return nil, fmt.Errorf("tsdb: segment %s: %w: duplicate cold shard %d", e.Name(), ErrCorrupt, shard)
+			disk += n
+			loaded += cnt
+		}
+	} else {
+		n, cnt, err := s.loadSegDir(dir, 0)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("tsdb: open %s: %w", dir, ErrNoData)
 			}
-			sh.cold = blocks
-			s.loc.CompareAndSwap(nil, loc)
-			disk += int64(len(buf))
-			loaded++
-			continue
-		}
-		if ok, _ := filepath.Match("shard-*.seg", e.Name()); !ok {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
-		buf, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("tsdb: open: %w", err)
-		}
-		shard, blocks, loc, err := parseSegment(e.Name(), buf)
-		if err != nil {
 			return nil, err
 		}
-		sh := &s.shards[shard]
-		if sh.total > 0 {
-			return nil, fmt.Errorf("tsdb: segment %s: %w: duplicate shard %d", e.Name(), ErrCorrupt, shard)
-		}
-		for _, b := range blocks {
-			sh.sealed = append(sh.sealed, b)
-			sh.total += b.count
-		}
-		sh.lastT = blocks[len(blocks)-1].maxT
-		sh.hasLast = true
-		s.loc.CompareAndSwap(nil, loc)
-		disk += int64(len(buf))
-		loaded++
+		disk = n
+		loaded = cnt
 	}
 	if loaded == 0 {
 		return nil, fmt.Errorf("tsdb: open %s: %w", dir, ErrNoData)
@@ -350,6 +338,79 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.diskBytes.Store(disk)
 	return s, nil
+}
+
+// loadSegDir reads every segment file in one directory into the store,
+// mapping each file's within-hall shard index to shards[base+index]. A
+// missing directory surfaces as fs.ErrNotExist for the caller to translate
+// (cold start for a flat store, empty hall for a fleet one).
+func (s *Store) loadSegDir(dir string, base int) (disk int64, loaded int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, 0, err
+		}
+		return 0, 0, fmt.Errorf("tsdb: open %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		// The raw pattern below also matches cold segment names, so the
+		// cold suffix must be routed first.
+		if ok, _ := filepath.Match("shard-*.cold.seg", e.Name()); ok {
+			path := filepath.Join(dir, e.Name())
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				return 0, 0, fmt.Errorf("tsdb: open: %w", err)
+			}
+			shard, blocks, loc, err := parseColdSegment(e.Name(), buf)
+			if err != nil {
+				return 0, 0, err
+			}
+			if shard >= s.fleet.Racks {
+				return 0, 0, fmt.Errorf("tsdb: segment %s: %w: shard %d outside fleet (%d racks per hall)", e.Name(), ErrCorrupt, shard, s.fleet.Racks)
+			}
+			sh := &s.shards[base+shard]
+			if len(sh.cold) > 0 {
+				return 0, 0, fmt.Errorf("tsdb: segment %s: %w: duplicate cold shard %d", e.Name(), ErrCorrupt, shard)
+			}
+			sh.cold = blocks
+			s.loc.CompareAndSwap(nil, loc)
+			disk += int64(len(buf))
+			loaded++
+			continue
+		}
+		if ok, _ := filepath.Match("shard-*.seg", e.Name()); !ok {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return 0, 0, fmt.Errorf("tsdb: open: %w", err)
+		}
+		shard, blocks, loc, err := parseSegment(e.Name(), buf)
+		if err != nil {
+			return 0, 0, err
+		}
+		if shard >= s.fleet.Racks {
+			return 0, 0, fmt.Errorf("tsdb: segment %s: %w: shard %d outside fleet (%d racks per hall)", e.Name(), ErrCorrupt, shard, s.fleet.Racks)
+		}
+		sh := &s.shards[base+shard]
+		if sh.total > 0 {
+			return 0, 0, fmt.Errorf("tsdb: segment %s: %w: duplicate shard %d", e.Name(), ErrCorrupt, shard)
+		}
+		for _, b := range blocks {
+			sh.sealed = append(sh.sealed, b)
+			sh.total += b.count
+		}
+		sh.lastT = blocks[len(blocks)-1].maxT
+		sh.hasLast = true
+		s.loc.CompareAndSwap(nil, loc)
+		disk += int64(len(buf))
+		loaded++
+	}
+	return disk, loaded, nil
 }
 
 // parseSegment validates one segment file and returns its shard index,

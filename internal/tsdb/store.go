@@ -25,6 +25,15 @@ const DefaultCompactWindow = time.Hour
 
 // Options configures a Store.
 type Options struct {
+	// Fleet is the deployment shape: one shard per fleet rack. The zero
+	// value is the paper's single 48-rack machine; multi-hall fleets get
+	// halls × racks shards and per-hall segment directories on disk.
+	Fleet topology.Fleet
+	// Location fixes the time zone used to materialize record timestamps.
+	// When nil, the store adopts the location of whichever record lands
+	// first (fine for the single-writer simulator; concurrent first appends
+	// from mixed zones should set this explicitly).
+	Location *time.Location
 	// Partition is the block length (default 30 days). Sealed blocks carry
 	// their time bounds, so range queries skip whole partitions.
 	Partition time.Duration
@@ -79,6 +88,7 @@ type shard struct {
 // queried. The zero value is ready to use with default Options.
 type Store struct {
 	opts      Options
+	fleet     topology.Fleet              // normalized Options.Fleet
 	scales    [sensors.NumMetrics]float64 // 10^decimals; 0 = raw (XOR)
 	partNanos int64
 	compWin   int64 // cold-tier window length, nanoseconds
@@ -86,10 +96,15 @@ type Store struct {
 	loc       atomic.Pointer[time.Location]
 	diskBytes atomic.Int64 // segment bytes as of the last Flush/Open
 	compactMu sync.Mutex   // serializes Compact runs (the only sealed-block remover)
-	shards    [topology.NumRacks]shard
+	tickPool  sync.Pool    // *tickScratch for AppendTick
+	shards    []shard      // one per fleet rack, topology.Fleet.GlobalIndex order
 }
 
-var _ envdb.DB = (*Store)(nil)
+var (
+	_ envdb.DB             = (*Store)(nil)
+	_ envdb.BatchAppender  = (*Store)(nil)
+	_ envdb.FleetDescriber = (*Store)(nil)
+)
 
 // NewStore creates a store with default options: 30-day partitions,
 // CSV-schema precision, no downsampling.
@@ -114,6 +129,16 @@ func NewRawStore() *Store {
 
 func (s *Store) init() {
 	s.once.Do(func() {
+		s.fleet = s.opts.Fleet.Norm()
+		s.shards = make([]shard, s.fleet.NumRacks())
+		s.tickPool.New = func() any {
+			return &tickScratch{
+				shards: make([]tickShardState, len(s.shards)),
+			}
+		}
+		if s.opts.Location != nil {
+			s.loc.Store(s.opts.Location)
+		}
 		if s.opts.Partition <= 0 {
 			s.opts.Partition = DefaultPartition
 		}
@@ -147,6 +172,32 @@ func (s *Store) location() *time.Location {
 	return time.UTC
 }
 
+// Fleet returns the store's normalized deployment shape.
+func (s *Store) Fleet() topology.Fleet {
+	s.init()
+	return s.fleet
+}
+
+// emptyShard backs reads for racks outside the store's fleet: queries on
+// them see an empty snapshot instead of panicking or aliasing a real shard.
+var emptyShard shard
+
+// shardPtr returns the shard owning rack, or nil for a rack outside the
+// fleet (writers reject it, readers treat it as empty).
+func (s *Store) shardPtr(rack topology.RackID) *shard {
+	if !s.fleet.Contains(rack) {
+		return nil
+	}
+	return &s.shards[s.fleet.GlobalIndex(rack)]
+}
+
+func (s *Store) readShard(rack topology.RackID) *shard {
+	if sh := s.shardPtr(rack); sh != nil {
+		return sh
+	}
+	return &emptyShard
+}
+
 func floorDiv(a, b int64) int64 {
 	q := a / b
 	if a%b != 0 && (a < 0) != (b < 0) {
@@ -162,7 +213,11 @@ func (s *Store) Append(r sensors.Record) error {
 	s.init()
 	s.loc.CompareAndSwap(nil, r.Time.Location())
 	t := r.Time.UnixNano()
-	sh := &s.shards[r.Rack.Index()]
+	sh := s.shardPtr(r.Rack)
+	if sh == nil {
+		return fmt.Errorf("tsdb: rack %v outside fleet (%d halls × %d racks)",
+			r.Rack, s.fleet.Halls, s.fleet.Racks)
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.hasLast && t < sh.lastT {
@@ -208,6 +263,229 @@ func quantize(v, scale float64) float64 {
 		return v
 	}
 	return q
+}
+
+// qz applies the channel's ingest quantization; scale 0 marks a raw
+// channel that keeps its float64 bits.
+func qz(v, scale float64) float64 {
+	if scale > 0 {
+		return quantize(v, scale)
+	}
+	return v
+}
+
+// tickScratch is AppendTick's reusable per-call state, pooled on the store
+// so steady-state batched ingest allocates nothing: each shard's group of
+// batch indices keeps its capacity across calls, and reset() only touches
+// the shards the previous batch actually used.
+type tickScratch struct {
+	nanos   []int64          // per record: UnixNano
+	shards  []tickShardState // per shard: this batch's group + watermark
+	touched []int32          // shards with a non-empty group
+}
+
+// tickShardState packs one shard's per-batch state into a single cache
+// line's worth of scratch, so pass 1 touches one array, not two.
+type tickShardState struct {
+	group    []int32 // batch indices, reset via touched
+	lastSeen int64   // newest timestamp seen in this batch
+}
+
+func (sc *tickScratch) reset() {
+	for _, j := range sc.touched {
+		sc.shards[j].group = sc.shards[j].group[:0]
+	}
+	sc.touched = sc.touched[:0]
+}
+
+// AppendTick ingests a batch of records atomically: the whole batch is
+// validated first — fleet membership and per-rack time order, both within
+// the batch and against each shard's watermark — and only then applied,
+// under a single lock acquisition per touched shard. Either every record
+// lands or none does, so a rejected batch leaves the store byte-identical
+// and safe to retry after correction; that all-or-nothing contract is what
+// lets the network server treat one ingest frame as its unit of dedup.
+// Batching also amortizes the per-record locking, bounds checks, and slice
+// growth of the Append loop (see BenchmarkIngestTickBatch). Concurrent
+// AppendTick calls lock shards in ascending fleet order, so they cannot
+// deadlock; Append may interleave between batches but not inside one.
+func (s *Store) AppendTick(recs []sensors.Record) error {
+	s.init()
+	if len(recs) == 0 {
+		return nil
+	}
+	s.loc.CompareAndSwap(nil, recs[0].Time.Location())
+	sc := s.tickPool.Get().(*tickScratch)
+	defer s.tickPool.Put(sc)
+	if cap(sc.nanos) < len(recs) {
+		sc.nanos = make([]int64, len(recs))
+	}
+	nanos := sc.nanos[:len(recs)]
+	// Pass 1, lock-free: validate fleet membership and intra-batch time
+	// order while grouping the batch by shard. Nothing is applied until the
+	// whole batch checks out. The fleet membership check and global index
+	// are open-coded — this loop runs per record on the ingest hot path,
+	// and Fleet's methods re-derive the normalized shape on every call.
+	halls, perHall := s.fleet.Halls, s.fleet.Racks
+	states := sc.shards
+	touched := sc.touched
+	for i := range recs {
+		r := &recs[i]
+		idx := r.Rack.Row*topology.ColsPerRow + r.Rack.Col
+		if uint(r.Rack.Row) >= topology.Rows || uint(r.Rack.Col) >= topology.ColsPerRow ||
+			uint(r.Rack.Hall) >= uint(halls) || idx >= perHall {
+			sc.touched = touched
+			sc.reset()
+			return fmt.Errorf("tsdb: rack %v outside fleet (%d halls × %d racks)",
+				r.Rack, halls, perHall)
+		}
+		st := &states[r.Rack.Hall*perHall+idx]
+		t := r.Time.UnixNano()
+		nanos[i] = t
+		if len(st.group) == 0 {
+			touched = append(touched, int32(r.Rack.Hall*perHall+idx))
+		} else if t < st.lastSeen {
+			sc.touched = touched
+			sc.reset()
+			metOutOfOrder.Inc()
+			return fmt.Errorf("tsdb: out-of-order record in batch for rack %v: %v before %v",
+				r.Rack, r.Time, time.Unix(0, st.lastSeen).In(s.location()))
+		}
+		st.lastSeen = t
+		st.group = append(st.group, int32(i))
+	}
+	sc.touched = touched
+	// Lock touched shards in ascending fleet order (insertion sort: the
+	// batch is typically already in rack order, and concurrent AppendTick
+	// calls must agree on lock order) and validate each group's first
+	// record against the shard watermark; any violation releases every
+	// lock with the store untouched.
+	for k := 1; k < len(touched); k++ {
+		for l := k; l > 0 && touched[l] < touched[l-1]; l-- {
+			touched[l], touched[l-1] = touched[l-1], touched[l]
+		}
+	}
+	for k, j := range touched {
+		sh := &s.shards[j]
+		sh.mu.Lock()
+		if first := sc.shards[j].group[0]; sh.hasLast && nanos[first] < sh.lastT {
+			rack, when, wm := recs[first].Rack, recs[first].Time, sh.lastT
+			for _, jj := range touched[:k+1] {
+				s.shards[jj].mu.Unlock()
+			}
+			sc.reset()
+			metOutOfOrder.Inc()
+			return fmt.Errorf("tsdb: out-of-order batch for rack %v: %v before %v",
+				rack, when, time.Unix(0, wm).In(s.location()))
+		}
+	}
+	// Validation passed: apply every group, then release the locks.
+	for _, j := range touched {
+		sh := &s.shards[j]
+		s.applyGroup(sh, recs, nanos, sc.shards[j].group)
+		sh.lastT = sc.shards[j].lastSeen
+		sh.hasLast = true
+		sh.mu.Unlock()
+	}
+	metAppend.Add(uint64(len(recs)))
+	sc.reset()
+	return nil
+}
+
+// applyGroup appends one shard's group of a validated batch under the
+// shard's (held) write lock: downsample stride first, then one fillHead
+// call per partition run — the column-at-a-time amortization that makes
+// AppendTick fast.
+func (s *Store) applyGroup(sh *shard, recs []sensors.Record, nanos []int64, g []int32) {
+	if d := s.opts.Downsample; d > 1 {
+		kept := 0
+		for _, x := range g {
+			sh.counter++
+			if (sh.counter-1)%d == 0 {
+				g[kept] = x
+				kept++
+			}
+		}
+		g = g[:kept]
+	} else {
+		sh.counter += len(g)
+	}
+	for len(g) > 0 {
+		t0 := nanos[g[0]]
+		part := floorDiv(t0, s.partNanos)
+		if sh.head != nil && sh.head.partition != part {
+			sh.sealed = append(sh.sealed, sealHead(sh.head, s.scales))
+			sh.head = nil
+		}
+		if sh.head == nil {
+			sh.head = &headBlock{partition: part}
+		}
+		run := len(g)
+		// end > t0 guards (part+1)*partNanos overflow: when the partition
+		// end is unrepresentable no later partition exists, so the whole
+		// group belongs to this one.
+		if end := (part + 1) * s.partNanos; end > t0 && nanos[g[run-1]] >= end {
+			run = sort.Search(run, func(x int) bool { return nanos[g[x]] >= end })
+		}
+		s.fillHead(sh.head, recs, nanos, g[:run])
+		sh.total += run
+		g = g[run:]
+	}
+}
+
+// fillHead appends one partition run of grouped records to a head block,
+// growing each column once and quantizing values straight into place. The
+// arithmetic must stay exactly quantize's — Append and AppendTick have to
+// produce bit-identical heads.
+func (s *Store) fillHead(h *headBlock, recs []sensors.Record, nanos []int64, g []int32) {
+	base := len(h.times)
+	h.times = reserve(h.times, len(g))
+	for m := range h.vals {
+		h.vals[m] = reserve(h.vals[m], len(g))
+	}
+	// The reslices to len(g) let the compiler drop the per-column bounds
+	// checks inside the loop: every column provably spans the whole run.
+	times := h.times[base:][:len(g)]
+	v0, v1, v2 := h.vals[0][base:][:len(g)], h.vals[1][base:][:len(g)], h.vals[2][base:][:len(g)]
+	v3, v4, v5 := h.vals[3][base:][:len(g)], h.vals[4][base:][:len(g)], h.vals[5][base:][:len(g)]
+	s0, s1, s2 := s.scales[0], s.scales[1], s.scales[2]
+	s3, s4, s5 := s.scales[3], s.scales[4], s.scales[5]
+	for k, x := range g {
+		r := &recs[x]
+		times[k] = nanos[x]
+		a0, a1, a2 := float64(r.DCTemperature), float64(r.DCHumidity), float64(r.Flow)
+		a3, a4, a5 := float64(r.InletTemp), float64(r.OutletTemp), float64(r.Power)
+		if s0 > 0 {
+			a0 = quantize(a0, s0)
+		}
+		if s1 > 0 {
+			a1 = quantize(a1, s1)
+		}
+		if s2 > 0 {
+			a2 = quantize(a2, s2)
+		}
+		if s3 > 0 {
+			a3 = quantize(a3, s3)
+		}
+		if s4 > 0 {
+			a4 = quantize(a4, s4)
+		}
+		if s5 > 0 {
+			a5 = quantize(a5, s5)
+		}
+		v0[k], v1[k], v2[k] = a0, a1, a2
+		v3[k], v4[k], v5[k] = a3, a4, a5
+	}
+}
+
+// reserve extends s by n elements the caller will overwrite. The capacity
+// hit skips append's zeroing of the extension — fillHead stores to every
+// reserved index, so the stale memory is never read.
+func reserve[T any](s []T, n int) []T {
+	if cap(s)-len(s) >= n {
+		return s[:len(s)+n]
+	}
+	return append(s, make([]T, n)...)
 }
 
 // SealAll compresses every non-empty head block. Appends afterwards start
@@ -398,7 +676,7 @@ func (s *Store) Series(rack topology.RackID, m sensors.Metric, from, to time.Tim
 	defer metQueryDur.With(opSeries).ObserveSince(time.Now())
 	loc := s.location()
 	fromN, toN := from.UnixNano(), to.UnixNano()
-	snap := s.shards[rack.Index()].snapshot()
+	snap := s.readShard(rack).snapshot()
 	times := []time.Time{}
 	vals := []float64{}
 	for _, bv := range snap.blocks() {
@@ -434,7 +712,7 @@ func (s *Store) EachRecord(f func(sensors.Record)) {
 func (s *Store) EachRecordUntil(f func(sensors.Record) bool) {
 	s.init()
 	for i := range s.shards {
-		it := s.iterShard(topology.RackByIndex(i), &s.shards[i], minTime, maxTime)
+		it := s.iterShard(s.fleet.RackAt(i), &s.shards[i], minTime, maxTime)
 		for it.Next() {
 			if !f(it.Record()) {
 				// Every exit path must surface a latched decode failure —

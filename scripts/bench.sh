@@ -26,6 +26,23 @@ awk '
 	}
 ' "$tmp/bench.txt"
 
+# Batched-vs-loop ingest contrast: one 85-tick frame per op, AppendTick
+# against the per-record Append loop a pre-batch server ran. The ratio is
+# the ingest acceptance the fleet work pins.
+awk '
+	$1 ~ /^BenchmarkIngestTickLoop(-[0-9]+)?$/ {
+		for (i = 3; i < NF; i++) if ($(i + 1) == "ns/record") loop = $i
+	}
+	$1 ~ /^BenchmarkIngestTickBatch(-[0-9]+)?$/ {
+		for (i = 3; i < NF; i++) if ($(i + 1) == "ns/record") batch = $i
+	}
+	END {
+		if (loop && batch)
+			printf "bench: tick ingest ns/record — batched %s vs per-record loop %s (%.2fx)\n",
+				batch, loop, loop / batch
+	}
+' "$tmp/bench.txt"
+
 # One simulated week with the observability surface on; its RunReport
 # (every counter, gauge, and histogram at exit) is embedded verbatim.
 go build -o "$tmp/mirasim" ./cmd/mirasim

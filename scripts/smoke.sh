@@ -156,6 +156,65 @@ if [ -z "$before" ] || [ -z "$after" ] || [ "$after" -le "$before" ]; then
 	exit 1
 fi
 
+# Fleet round trip: the same two-hall window simulated twice — once into a
+# local fleet store, once pushed over the wire into a fleet-sized
+# miramon -serve — must analyze identically hall by hall. The push travels
+# the v2 (wide rack code) wire encoding for hall 1, so this also proves the
+# fleet encoding survives sim -> push -> remote analysis bit-exactly.
+"$bin/mirasim" -halls 2 -start 2014-03-05 -end 2014-03-07 \
+	-data "$data/fleet-local" >/dev/null
+
+"$bin/miramon" -serve -listen 127.0.0.1:0 -halls 2 -data "$data/fleet-remote" \
+	2>"$data/fleet-mon.log" &
+mon_pid=$!
+addr=
+i=0
+while [ $i -lt 100 ]; do
+	addr=$(sed -n 's/.*telemetry API on //p' "$data/fleet-mon.log" | head -n 1)
+	[ -n "$addr" ] && break
+	kill -0 "$mon_pid" 2>/dev/null || {
+		echo "smoke: fleet miramon -serve exited early:" >&2
+		cat "$data/fleet-mon.log" >&2
+		exit 1
+	}
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$addr" ] || {
+	echo "smoke: fleet miramon -serve never reported its address" >&2
+	cat "$data/fleet-mon.log" >&2
+	exit 1
+}
+
+"$bin/mirasim" -halls 2 -start 2014-03-05 -end 2014-03-07 \
+	-push "http://$addr" >"$data/fleet-push.txt"
+grep -q 'telemetry pushed: [1-9][0-9]* records' "$data/fleet-push.txt" || {
+	echo "smoke: fleet mirasim -push did not report pushed telemetry:" >&2
+	cat "$data/fleet-push.txt" >&2
+	exit 1
+}
+
+for hall in 0 1; do
+	"$bin/miraanalyze" -data "$data/fleet-local" -halls 2 -hall "$hall" \
+		>"$data/fleet-local-$hall.txt"
+	"$bin/miraanalyze" -remote "http://$addr" -hall "$hall" \
+		>"$data/fleet-remote-$hall.txt"
+	tail -n +2 "$data/fleet-local-$hall.txt" >"$data/fleet-local-$hall-figs.txt"
+	tail -n +2 "$data/fleet-remote-$hall.txt" >"$data/fleet-remote-$hall-figs.txt"
+	if ! diff -u "$data/fleet-local-$hall-figs.txt" "$data/fleet-remote-$hall-figs.txt"; then
+		echo "smoke: hall $hall remote fleet figures differ from the local fleet store" >&2
+		exit 1
+	fi
+done
+
+kill -TERM "$mon_pid"
+wait "$mon_pid" || {
+	echo "smoke: fleet miramon -serve exited non-zero on SIGTERM:" >&2
+	cat "$data/fleet-mon.log" >&2
+	exit 1
+}
+mon_pid=
+
 # A corrupted cold segment must be rejected as descriptively as a raw one.
 coldseg=$(find "$data/cold" -name '*.cold.seg' | head -n 1)
 coldsize=$(wc -c <"$coldseg")
@@ -184,4 +243,4 @@ grep -q 'corrupt segment' "$data/corrupt.txt" || {
 	exit 1
 }
 
-echo "smoke: ok (warm figures match the in-memory path; chunked and record-at-a-time scans agree; remote figures match over the wire; push + graceful shutdown persisted; pushdown figures survive retention compaction; corruption rejected)"
+echo "smoke: ok (warm figures match the in-memory path; chunked and record-at-a-time scans agree; remote figures match over the wire; push + graceful shutdown persisted; pushdown figures survive retention compaction; two-hall fleet push analyzes hall-identical to the local store; corruption rejected)"
