@@ -34,20 +34,25 @@ smoke:
 	./scripts/smoke.sh
 
 # fuzz-smoke gives each fuzz target a short budget: segment parsing, block
-# decoding, the network frame parser, and the trace-header parser must
-# reject arbitrary bytes cleanly (wrapped sentinel errors for the wire
-# formats, a fresh root trace for X-Mira-Trace), never a panic. The go
-# fuzzer runs one target per invocation.
+# decoding, the network frame parser, the trace-header parser, and the
+# campaign job-spec/claim envelopes must reject arbitrary bytes cleanly
+# (wrapped sentinel errors for the wire formats, a fresh root trace for
+# X-Mira-Trace), never a panic. The go fuzzer runs one target per
+# invocation.
 fuzz-smoke:
 	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz '^FuzzOpenSegment$$' -fuzztime 10s
 	$(GO) test ./internal/tsdb/ -run '^$$' -fuzz '^FuzzDecodeBlock$$' -fuzztime 10s
 	$(GO) test ./internal/telemetrynet/ -run '^$$' -fuzz '^FuzzDecodeIngestFrame$$' -fuzztime 10s
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz '^FuzzParseTraceHeader$$' -fuzztime 10s
 	$(GO) test ./internal/telemetrynet/ -run '^$$' -fuzz '^FuzzTraceHeaderHandling$$' -fuzztime 10s
+	$(GO) test ./internal/campaign/ -run '^$$' -fuzz '^FuzzDecodeJobSpec$$' -fuzztime 10s
+	$(GO) test ./internal/campaign/ -run '^$$' -fuzz '^FuzzParseClaimResponse$$' -fuzztime 10s
 
 # bench reports tsdb ingest throughput, compressed bytes/sample, and
 # range-query scan performance, then snapshots the numbers (plus an
-# instrumented one-week mirasim RunReport) into BENCH_tsdb.json.
+# instrumented one-week mirasim RunReport) into BENCH_tsdb.json. The
+# campaign dispatcher's claim-cycle benchmark is folded into BENCH_net.json
+# alongside the network latency sections.
 bench:
 	./scripts/bench.sh
 

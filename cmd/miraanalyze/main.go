@@ -23,6 +23,11 @@
 // with Fig. 7/9 aggregation pushed down to the server — the output is
 // bit-identical to analyzing the server's store in-process.
 //
+// -campaign prints a scenario sweep's comparison table from a miradispatch
+// dispatcher: one row per completed job with reliability (CM failures,
+// killed jobs) and efficiency (cooling energy, PUE, coolant spread)
+// outcomes, plus deltas against the first completed job as baseline.
+//
 // For a multi-hall fleet store, -halls/-racks size the -data open and
 // -hall picks the machine hall the figures describe (the figures are
 // per-machine views, so a fleet is analyzed one hall at a time). The
@@ -41,6 +46,7 @@ import (
 
 	"mira"
 	"mira/internal/analysis"
+	"mira/internal/campaign"
 	"mira/internal/envdb"
 	"mira/internal/obs"
 	"mira/internal/ras"
@@ -68,9 +74,16 @@ func main() {
 		halls       = flag.Int("halls", 1, "machine halls the -data store is sized for")
 		racks       = flag.Int("racks", topology.NumRacks, "racks per hall (1..48)")
 		hall        = flag.Int("hall", 0, "which machine hall the offline figures describe (fleet stores are analyzed one hall at a time)")
+		campaignURL = flag.String("campaign", "", "print the scenario-sweep comparison table from the miradispatch dispatcher at this base URL")
 	)
 	flag.Parse()
 	logg = obs.NewLogger(os.Stderr, *logFormat, "miraanalyze")
+
+	if *campaignURL != "" {
+		analyzeCampaign(*campaignURL)
+		writeReport(*reportPath)
+		return
+	}
 
 	if *halls < 1 || *halls > topology.MaxHalls {
 		logg.Fatalf("bad -halls %d: want 1..%d", *halls, topology.MaxHalls)
@@ -278,6 +291,33 @@ func analyzeRemote(url string, scan analysis.CollectOptions, figure string) {
 	fmt.Printf("remote store at %s: %d records, %s .. %s\n\n",
 		url, info.Records, first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
 	analyzeStore(client, scan, figure)
+}
+
+// analyzeCampaign fetches a scenario sweep's completed RunResults from a
+// miradispatch dispatcher and prints the comparison table: reliability and
+// efficiency outcomes per job, with deltas against the sweep's first
+// completed job as the baseline.
+func analyzeCampaign(url string) {
+	client := campaign.NewClient(url, nil)
+	ctx := context.Background()
+	jobs, err := client.Status(ctx)
+	if err != nil {
+		logg.Fatalf("campaign %s: %v", url, err)
+	}
+	results, err := client.Results(ctx)
+	if err != nil {
+		logg.Fatalf("campaign %s: %v", url, err)
+	}
+	fmt.Printf("campaign at %s: %d jobs, %d completed\n\n", url, len(jobs), len(results))
+	fmt.Println(campaign.FormatDiffTable(results))
+	if len(results) < len(jobs) {
+		fmt.Printf("\n%d jobs not yet completed:\n", len(jobs)-len(results))
+		for _, j := range jobs {
+			if j.State != campaign.StateDone {
+				fmt.Printf("  job %d %s: %s\n", j.ID, j.Name, j.State)
+			}
+		}
+	}
 }
 
 // analyzeOffline regenerates the coolant/ambient figures from an exported

@@ -1,0 +1,173 @@
+// Command miradispatch runs the campaign dispatcher: a crash-safe queue of
+// simulation job specs served over the claim/heartbeat/complete protocol,
+// plus a thin client mode for submitting specs and watching a sweep.
+//
+// Serve a queue (the durable state lives under -data and survives restarts,
+// with in-flight jobs demoted back to pending):
+//
+//	miradispatch -data /var/lib/mira/campaign -listen 127.0.0.1:9090 -lease 30s
+//
+// Submit plain-JSON job specs and watch the sweep from another terminal:
+//
+//	miradispatch -url http://127.0.0.1:9090 -submit baseline.json,hot.json
+//	miradispatch -url http://127.0.0.1:9090 -status
+//	miradispatch -url http://127.0.0.1:9090 -results
+//
+// Workers are `mirasim -worker <url>`; the comparison table is
+// `miraanalyze -campaign <url>`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mira/internal/campaign"
+	"mira/internal/obs"
+)
+
+func main() {
+	var (
+		dataDir     = flag.String("data", "", "queue directory for durable job files (serve mode)")
+		listen      = flag.String("listen", "", "serve the campaign API (and /metrics, /healthz, pprof) on this address")
+		lease       = flag.Duration("lease", 30*time.Second, "claim lease; a worker silent this long forfeits its job")
+		maxAttempts = flag.Int("max-attempts", 3, "worker-reported failures before a job parks as failed")
+		url         = flag.String("url", "", "dispatcher base URL (client modes)")
+		submit      = flag.String("submit", "", "comma-separated JSON job-spec files to enqueue (requires -url)")
+		status      = flag.Bool("status", false, "print every job's state (requires -url)")
+		results     = flag.Bool("results", false, "print completed jobs' results as JSON (requires -url)")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+	)
+	flag.Parse()
+	logg := obs.NewLogger(os.Stderr, *logFormat, "miradispatch")
+
+	switch {
+	case *url != "":
+		if *dataDir != "" || *listen != "" {
+			logg.Fatalf("-url is a client mode; it does not combine with -data/-listen")
+		}
+		runClient(logg, *url, *submit, *status, *results)
+	case *dataDir != "" && *listen != "":
+		serve(logg, *dataDir, *listen, *lease, *maxAttempts)
+	default:
+		logg.Fatalf("need either -data and -listen (serve) or -url (client); see -h")
+	}
+}
+
+// serve opens (or recovers) the durable queue and mounts the dispatcher
+// endpoints alongside the obs surface until SIGINT/SIGTERM.
+func serve(logg *obs.Logger, dataDir, listen string, lease time.Duration, maxAttempts int) {
+	q, err := campaign.OpenQueue(dataDir, campaign.QueueOptions{
+		Lease:       lease,
+		MaxAttempts: maxAttempts,
+	})
+	if err != nil {
+		logg.Fatalf("open queue %s: %v", dataDir, err)
+	}
+	d := campaign.NewDispatcher(q, logg)
+	srv, err := obs.ServeWith(listen, d.Mount)
+	if err != nil {
+		logg.Fatalf("-listen %s: %v", listen, err)
+	}
+	var done, failed int
+	for _, j := range q.Status() {
+		switch j.State {
+		case campaign.StateDone:
+			done++
+		case campaign.StateFailed:
+			failed++
+		}
+	}
+	pending, _ := q.Depths()
+	logg.Infof("queue %s recovered: %d pending, %d done, %d failed", dataDir, pending, done, failed)
+	logg.Infof("campaign dispatcher on %s", srv.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	logg.Infof("%v: shutting down", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logg.Errorf("http shutdown: %v", err)
+	}
+	logg.Infof("shutdown complete")
+}
+
+// runClient executes the requested client actions in submit → status →
+// results order so one invocation can both enqueue and inspect.
+func runClient(logg *obs.Logger, url, submit string, status, results bool) {
+	if submit == "" && !status && !results {
+		logg.Fatalf("-url needs at least one of -submit, -status, -results")
+	}
+	ctx := context.Background()
+	c := campaign.NewClient(url, http.DefaultClient)
+
+	if submit != "" {
+		for _, path := range strings.Split(submit, ",") {
+			spec, err := readSpecFile(path)
+			if err != nil {
+				logg.Fatalf("%v", err)
+			}
+			id, err := c.Submit(ctx, spec)
+			if err != nil {
+				logg.Fatalf("submit %s: %v", path, err)
+			}
+			fmt.Printf("job %d submitted: %s (seed %d, %s..%s)\n", id, spec.Name, spec.Seed, spec.Start, spec.End)
+		}
+	}
+	if status {
+		jobs, err := c.Status(ctx)
+		if err != nil {
+			logg.Fatalf("status: %v", err)
+		}
+		fmt.Printf("%-5s %-20s %-8s %-8s %-20s %s\n", "job", "name", "state", "attempt", "worker", "error")
+		for _, j := range jobs {
+			worker := "-"
+			if j.Worker != 0 {
+				worker = fmt.Sprint(j.Worker)
+			}
+			fmt.Printf("%-5d %-20s %-8s %-8d %-20s %s\n", j.ID, j.Name, j.State, j.Attempt, worker, j.Error)
+		}
+	}
+	if results {
+		res, err := c.Results(ctx)
+		if err != nil {
+			logg.Fatalf("results: %v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			logg.Fatalf("encode results: %v", err)
+		}
+	}
+}
+
+// readSpecFile loads one plain-JSON JobSpec; unknown fields are rejected so
+// a typoed knob fails loudly instead of silently running the default.
+func readSpecFile(path string) (campaign.JobSpec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return campaign.JobSpec{}, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	var spec campaign.JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return campaign.JobSpec{}, fmt.Errorf("spec %s: %w", path, err)
+	}
+	if spec.Version == 0 {
+		spec.Version = campaign.SpecVersion
+	}
+	if err := spec.Validate(); err != nil {
+		return campaign.JobSpec{}, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return spec, nil
+}

@@ -22,6 +22,11 @@
 // frames as the simulation runs, so the remote store is live (queryable by
 // miraanalyze -remote) while the run is still in flight. Local store
 // outputs (-data, -telemetry, -retention, -downsample) do not apply.
+//
+// -worker turns mirasim into a campaign worker: it claims job specs from a
+// miradispatch dispatcher at the given base URL, runs each with the real
+// simulator under a heartbeated lease, reports the distilled RunResult
+// back, and exits once the sweep drains.
 package main
 
 import (
@@ -29,8 +34,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"mira/internal/campaign"
 	"mira/internal/envdb"
 	"mira/internal/obs"
 	"mira/internal/sim"
@@ -59,9 +67,20 @@ func main() {
 		listen     = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address while the run is live (e.g. :8080)")
 		reportPath = flag.String("report", "", "write a RunReport metric snapshot (JSON) to this file at exit")
 		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
+		worker     = flag.String("worker", "", "run as a campaign worker: claim job specs from the miradispatch dispatcher at this base URL and run them until the sweep drains")
 	)
 	flag.Parse()
 	logg := obs.NewLogger(os.Stderr, *logFormat, "mirasim")
+
+	if *worker != "" {
+		// Worker mode runs whatever specs the dispatcher hands out; the local
+		// run-shaping flags would be silently ignored, so reject them loudly.
+		if *push != "" || *dataDir != "" || *telemetry != "" || *rasOut != "" {
+			logg.Fatalf("-worker runs dispatcher-provided job specs; it cannot be combined with -push, -data, -telemetry, or -ras")
+		}
+		runWorker(logg, *worker, *listen, *reportPath)
+		return
+	}
 
 	start, err := time.ParseInLocation("2006-01-02", *startStr, timeutil.Chicago)
 	if err != nil {
@@ -220,4 +239,33 @@ func main() {
 		}
 		logg.Infof("run report written to %s", *reportPath)
 	}
+}
+
+// runWorker claims jobs from a campaign dispatcher and runs them with the
+// real simulator until the sweep drains or SIGINT/SIGTERM cancels the loop.
+// Each job's telemetry goes to a worker-local store — or the shared remote
+// store when the spec sets push — and the distilled RunResult is reported
+// back through the idempotent complete protocol.
+func runWorker(logg *obs.Logger, url, listen, reportPath string) {
+	if listen != "" {
+		addr, err := obs.Serve(listen)
+		if err != nil {
+			logg.Fatalf("-listen %s: %v", listen, err)
+		}
+		logg.Infof("serving /metrics, /healthz, and /debug/pprof on %s", addr)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	w := campaign.NewWorker(url, campaign.WorkerOptions{Context: ctx, Logger: logg})
+	logg.Infof("campaign worker %d polling %s", w.ID(), url)
+	if err := w.RunLoop(); err != nil {
+		logg.Fatalf("worker %d: %v", w.ID(), err)
+	}
+	if reportPath != "" {
+		if err := obs.WriteRunReport(reportPath); err != nil {
+			logg.Fatalf("-report: %v", err)
+		}
+		logg.Infof("run report written to %s", reportPath)
+	}
+	logg.Infof("campaign worker %d done: %d completed, %d duplicate", w.ID(), w.Completed, w.Duplicates)
 }

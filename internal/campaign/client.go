@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"mira/internal/obs"
+)
+
+// Client is the thin control-plane client: submit, status, results. The
+// worker data plane (claim/heartbeat/complete) lives on Worker, which owns
+// the retry and dedup discipline.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a dispatcher base URL. httpClient may be nil.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		req.Header.Set(obs.TraceHeader, sc.HeaderValue())
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEnvelope))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("campaign: %s %s: status %d: %s",
+			method, path, resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return b, nil
+}
+
+// Submit enqueues one spec, returning its job ID.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (uint64, error) {
+	frame, err := EncodeJobSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	b, err := c.do(ctx, http.MethodPost, "/v1/campaign/submit", frame)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		JobID uint64 `json:"job_id"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		return 0, fmt.Errorf("campaign: submit response: %w", err)
+	}
+	return out.JobID, nil
+}
+
+// Status fetches every job's state.
+func (c *Client) Status(ctx context.Context) ([]JobStatus, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/campaign/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []JobStatus
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("campaign: jobs response: %w", err)
+	}
+	return out, nil
+}
+
+// Results fetches the completed jobs' RunResults.
+func (c *Client) Results(ctx context.Context) ([]RunResult, error) {
+	b, err := c.do(ctx, http.MethodGet, "/v1/campaign/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []RunResult
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("campaign: results response: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mira/internal/obs"
+)
+
+// maxResultBody caps a completion body; a RunResult is a few hundred bytes.
+const maxResultBody = 1 << 20
+
+var metRequestDur = obs.NewHistogramVec("mira_campaign_request_duration_seconds",
+	"campaign dispatcher request latency by endpoint", "endpoint", nil)
+
+// Dispatcher serves the claim/heartbeat/complete protocol over a Queue. It
+// mounts under /v1/campaign/ so it can share a mux (and a port) with the
+// telemetrynet endpoints.
+type Dispatcher struct {
+	q   *Queue
+	log *obs.Logger
+}
+
+// NewDispatcher wraps a queue. log may be nil.
+func NewDispatcher(q *Queue, log *obs.Logger) *Dispatcher {
+	return &Dispatcher{q: q, log: log}
+}
+
+// Queue exposes the underlying queue (status pages, tests).
+func (d *Dispatcher) Queue() *Queue { return d.q }
+
+// Mount registers the campaign endpoints on mux.
+func (d *Dispatcher) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/campaign/submit", d.traced("submit", "campaign.submit", d.handleSubmit))
+	mux.HandleFunc("/v1/campaign/claim", d.traced("claim", "campaign.claim", d.handleClaim))
+	mux.HandleFunc("/v1/campaign/heartbeat", d.traced("heartbeat", "campaign.heartbeat", d.handleHeartbeat))
+	mux.HandleFunc("/v1/campaign/complete", d.traced("complete", "campaign.complete", d.handleComplete))
+	mux.HandleFunc("/v1/campaign/fail", d.traced("fail", "campaign.fail", d.handleFail))
+	mux.HandleFunc("/v1/campaign/jobs", d.traced("jobs", "campaign.jobs", d.handleJobs))
+	mux.HandleFunc("/v1/campaign/results", d.traced("results", "campaign.results", d.handleResults))
+}
+
+// Handler returns a standalone handler with every endpoint mounted.
+func (d *Dispatcher) Handler() http.Handler {
+	mux := http.NewServeMux()
+	d.Mount(mux)
+	return mux
+}
+
+// traced adopts the caller's wire trace context and wraps the handler in a
+// server span, mirroring the telemetrynet endpoints so a worker's
+// claim/complete RPCs and the dispatcher's handling land in one trace tree.
+func (d *Dispatcher) traced(endpoint, spanName string, h http.HandlerFunc) http.HandlerFunc {
+	hist := metRequestDur.With(endpoint)
+	return func(w http.ResponseWriter, req *http.Request) {
+		ctx := req.Context()
+		if sc, ok := obs.ParseTraceHeader(req.Header.Get(obs.TraceHeader)); ok {
+			ctx = obs.ContextWithRemoteSpan(ctx, sc)
+		}
+		ctx, span := obs.Span(ctx, spanName)
+		start := time.Now()
+		h(w, req.WithContext(ctx))
+		trace := span.Context().Trace
+		span.End()
+		hist.ObserveExemplar(time.Since(start).Seconds(), trace.String())
+	}
+}
+
+func (d *Dispatcher) infof(format string, args ...any) {
+	if d.log != nil {
+		d.log.Infof(format, args...)
+	}
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// queryID parses a uint64 query parameter.
+func queryID(req *http.Request, key string) (uint64, error) {
+	var v uint64
+	s := req.URL.Query().Get(key)
+	if s == "" {
+		return 0, fmt.Errorf("missing %s", key)
+	}
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil || v == 0 {
+		return 0, fmt.Errorf("bad %s %q", key, s)
+	}
+	return v, nil
+}
+
+// handleSubmit accepts one framed JobSpec and enqueues it durably.
+func (d *Dispatcher) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxEnvelope+envHeaderLen+envTrailLen+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := DecodeJobSpec(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := d.q.Submit(spec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrBadSpec) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	d.infof("job %d submitted: %s (seed %d, %s..%s)", id, spec.Name, spec.Seed, spec.Start, spec.End)
+	writeJSON(w, map[string]uint64{"job_id": id})
+}
+
+// handleClaim hands out a job under lease; idempotent per (worker, seq).
+func (d *Dispatcher) handleClaim(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	worker, err := queryID(req, "worker")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seq, err := queryID(req, "seq")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := d.q.Claim(worker, seq)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	frame, err := EncodeClaimResponse(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if resp.JobID != 0 {
+		d.infof("job %d claimed by worker %d (attempt %d)", resp.JobID, worker, resp.Attempt)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frame)
+}
+
+// handleHeartbeat renews a lease; 409 tells the worker the lease is gone.
+func (d *Dispatcher) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	jobID, err := queryID(req, "job")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	worker, err := queryID(req, "worker")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := d.q.Heartbeat(jobID, worker); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleComplete stores a result; double completion is a no-op duplicate.
+func (d *Dispatcher) handleComplete(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	jobID, err := queryID(req, "job")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	worker, err := queryID(req, "worker")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var res RunResult
+	if err := json.NewDecoder(io.LimitReader(req.Body, maxResultBody)).Decode(&res); err != nil {
+		http.Error(w, fmt.Sprintf("bad result body: %v", err), http.StatusBadRequest)
+		return
+	}
+	status, err := d.q.Complete(jobID, worker, res)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNoJob) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	d.infof("job %d %s by worker %d", jobID, status, worker)
+	writeJSON(w, map[string]CompleteStatus{"status": status})
+}
+
+// handleFail requeues (or parks) a job the worker could not run.
+func (d *Dispatcher) handleFail(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	jobID, err := queryID(req, "job")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	worker, err := queryID(req, "worker")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cause, _ := io.ReadAll(io.LimitReader(req.Body, 4096))
+	if err := d.q.Fail(jobID, worker, string(cause)); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNoJob) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	d.infof("job %d failed by worker %d: %s", jobID, worker, cause)
+	writeJSON(w, map[string]string{"status": "requeued"})
+}
+
+// handleJobs lists every job's status.
+func (d *Dispatcher) handleJobs(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, d.q.Status())
+}
+
+// handleResults lists the RunResults of completed jobs.
+func (d *Dispatcher) handleResults(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, d.q.Results())
+}

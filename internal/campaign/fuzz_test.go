@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+)
+
+// fuzzSeeds frames one valid envelope and derives the canonical corruption
+// shapes: truncation, a flipped payload bit, a flipped CRC bit, and an
+// absurd declared length.
+func fuzzSeeds(f *testing.F, frame []byte) {
+	f.Add(frame)
+	f.Add([]byte{})
+	f.Add(frame[:4])
+	f.Add(frame[:len(frame)-2])
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	crcFlip := append([]byte(nil), frame...)
+	crcFlip[len(crcFlip)-1] ^= 0x01
+	f.Add(crcFlip)
+	oversize := append([]byte(nil), frame...)
+	oversize[4], oversize[5], oversize[6], oversize[7] = 0xff, 0xff, 0xff, 0xff
+	f.Add(oversize)
+}
+
+// FuzzDecodeJobSpec holds the spec decoder to "wrapped sentinel error,
+// never a panic": whatever bytes arrive, either a valid spec comes back
+// (and re-validates and re-encodes cleanly) or the error wraps ErrBadSpec.
+func FuzzDecodeJobSpec(f *testing.F) {
+	frame, err := EncodeJobSpec(JobSpec{
+		Version: SpecVersion, Name: "fuzz-seed", Seed: 42,
+		Start: "2014-03-05", End: "2014-03-08", FailureScale: 1.5,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fuzzSeeds(f, frame)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("error %v does not wrap ErrBadSpec", err)
+			}
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("decoded spec fails validation: %v", err)
+		}
+		if _, err := EncodeJobSpec(spec); err != nil {
+			t.Fatalf("decoded spec does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzParseClaimResponse is the same contract for the claim decoder: a
+// valid claim or an ErrBadClaim-wrapped error, never a panic.
+func FuzzParseClaimResponse(f *testing.F) {
+	spec := JobSpec{
+		Version: SpecVersion, Name: "fuzz-claim", Seed: 7,
+		Start: "2014-03-05", End: "2014-03-08",
+	}
+	frame, err := EncodeClaimResponse(ClaimResponse{
+		JobID: 3, Spec: &spec, Attempt: 1, LeaseMS: 30000, Pending: 2, Running: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fuzzSeeds(f, frame)
+	empty, err := EncodeClaimResponse(ClaimResponse{Pending: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseClaimResponse(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadClaim) {
+				t.Fatalf("error %v does not wrap ErrBadClaim", err)
+			}
+			return
+		}
+		if c.JobID != 0 {
+			if c.Spec == nil || c.LeaseMS <= 0 {
+				t.Fatalf("invalid claim passed validation: %+v", c)
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLeaseExpiryProperty drives N simulated workers over M jobs through
+// thousands of randomized schedules: workers claim, heartbeat, die without
+// a word, or finish; the clock jumps by random amounts that straddle the
+// lease horizon; dead workers are replaced by fresh identities. Whatever
+// the interleaving, the invariant the dispatcher sells is: every job
+// completes, and every job completes exactly once (extra finishes collapse
+// to duplicates). Runs under -race via make check.
+func TestLeaseExpiryProperty(t *testing.T) {
+	const (
+		seeds   = 40
+		workers = 4
+		jobs    = 7
+		lease   = 10 * time.Second
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			clock := newFakeClock()
+			q, err := OpenQueue(t.TempDir(), QueueOptions{Lease: lease, Now: clock.Now})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < jobs; j++ {
+				if _, err := q.Submit(testSpec(fmt.Sprintf("p%d", j), int64(j+1))); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			type workerState struct {
+				id    uint64
+				seq   uint64
+				jobID uint64 // 0 = idle
+			}
+			ws := make([]*workerState, workers)
+			nextWorker := uint64(1)
+			for i := range ws {
+				ws[i] = &workerState{id: nextWorker}
+				nextWorker++
+			}
+
+			completedOnce := 0
+			duplicates := 0
+			for step := 0; step < 5000 && completedOnce < jobs; step++ {
+				w := ws[rng.Intn(workers)]
+				switch {
+				case w.jobID == 0: // idle: claim (sometimes retrying a "lost" response)
+					w.seq++
+					resp, err := q.Claim(w.id, w.seq)
+					if err != nil {
+						t.Fatalf("step %d: claim: %v", step, err)
+					}
+					if rng.Intn(4) == 0 { // response lost: blind retry, same seq
+						retry, err := q.Claim(w.id, w.seq)
+						if err != nil {
+							t.Fatalf("step %d: retried claim: %v", step, err)
+						}
+						if resp.JobID != 0 && retry.JobID != resp.JobID {
+							t.Fatalf("step %d: retry leaked job %d over %d", step, retry.JobID, resp.JobID)
+						}
+						resp = retry
+					}
+					w.jobID = resp.JobID
+				case rng.Intn(3) == 0: // die silently: a new worker replaces it
+					*w = workerState{id: nextWorker}
+					nextWorker++
+				case rng.Intn(2) == 0: // heartbeat; a lost lease abandons the run
+					if err := q.Heartbeat(w.jobID, w.id); err != nil {
+						w.jobID = 0
+					}
+				default: // finish and report
+					st, err := q.Complete(w.jobID, w.id, RunResult{Records: 1})
+					if err != nil {
+						t.Fatalf("step %d: complete: %v", step, err)
+					}
+					if st == DuplicateComplete {
+						duplicates++
+					} else {
+						completedOnce++
+					}
+					w.jobID = 0
+				}
+				// Clock jumps straddle the lease horizon so expiry actually
+				// fires mid-schedule.
+				clock.Advance(time.Duration(rng.Int63n(int64(lease))) * 3 / 2)
+			}
+
+			if completedOnce != jobs {
+				t.Fatalf("%d first-time completions, want %d (duplicates %d)", completedOnce, jobs, duplicates)
+			}
+			if res := q.Results(); len(res) != jobs {
+				t.Fatalf("results store holds %d, want %d", len(res), jobs)
+			}
+			if p, r := q.Depths(); p != 0 || r != 0 {
+				t.Fatalf("drained queue reports pending=%d running=%d", p, r)
+			}
+		})
+	}
+}
+
+// TestLeaseConcurrentHammer is the -race companion: real goroutine workers
+// with real (short) leases race over one queue with no fake clock. Every
+// job must end completed with exactly one stored result.
+func TestLeaseConcurrentHammer(t *testing.T) {
+	const (
+		workers = 8
+		jobs    = 24
+	)
+	q, err := OpenQueue(t.TempDir(), QueueOptions{Lease: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < jobs; j++ {
+		if _, err := q.Submit(testSpec(fmt.Sprintf("h%d", j), int64(j+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for wid := uint64(1); wid <= workers; wid++ {
+		wg.Add(1)
+		go func(wid uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(wid)))
+			var seq uint64
+			for {
+				seq++
+				resp, err := q.Claim(wid, seq)
+				if err != nil {
+					continue
+				}
+				if resp.JobID == 0 {
+					if resp.Pending == 0 && resp.Running == 0 {
+						return
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				// Some runs outlive the lease on purpose; the slow finisher
+				// must land as a duplicate, not a second result.
+				if rng.Intn(3) == 0 {
+					time.Sleep(30 * time.Millisecond)
+				}
+				if _, err := q.Complete(resp.JobID, wid, RunResult{Records: int(resp.JobID)}); err != nil {
+					t.Errorf("worker %d: complete %d: %v", wid, resp.JobID, err)
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	res := q.Results()
+	if len(res) != jobs {
+		t.Fatalf("results store holds %d, want %d", len(res), jobs)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range res {
+		if seen[r.JobID] {
+			t.Fatalf("job %d has two results", r.JobID)
+		}
+		seen[r.JobID] = true
+		if r.Records != int(r.JobID) {
+			t.Fatalf("job %d result %d: a late duplicate overwrote the committed result", r.JobID, r.Records)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package campaign
+
+import "mira/internal/obs"
+
+// Campaign metrics. The dispatcher counters trace the queue state machine
+// (submit → claim → complete, with the dedup/duplicate/expiry edges the
+// exactly-once contract depends on); the worker series time the runs
+// themselves.
+var (
+	metSubmitted = obs.NewCounter("mira_campaign_jobs_submitted_total",
+		"jobs accepted into the durable campaign queue")
+	metCompleted = obs.NewCounter("mira_campaign_jobs_completed_total",
+		"jobs completed with a stored result")
+	metFailed = obs.NewCounter("mira_campaign_jobs_failed_total",
+		"jobs that exhausted their attempts and were parked as failed")
+	metClaims = obs.NewCounter("mira_campaign_claims_total",
+		"fresh claims handed out (leases granted)")
+	metClaimDups = obs.NewCounter("mira_campaign_claim_duplicates_total",
+		"retried claims answered from the per-worker dedup state instead of a new lease")
+	metCompleteDups = obs.NewCounter("mira_campaign_complete_duplicates_total",
+		"completions of already-done jobs treated as no-ops")
+	metHeartbeats = obs.NewCounter("mira_campaign_heartbeats_total",
+		"lease renewals accepted")
+	metLeaseExpired = obs.NewCounter("mira_campaign_leases_expired_total",
+		"leases that expired and requeued their job")
+	metRequeues = obs.NewCounter("mira_campaign_requeues_total",
+		"jobs returned to pending by worker-reported failure")
+	metPending = obs.NewGauge("mira_campaign_jobs_pending",
+		"jobs waiting for a worker")
+	metRunning = obs.NewGauge("mira_campaign_jobs_running",
+		"jobs under an unexpired lease")
+
+	metWorkerRuns = obs.NewCounter("mira_campaign_worker_runs_total",
+		"simulation runs started by this worker process")
+	metWorkerRunFailures = obs.NewCounter("mira_campaign_worker_run_failures_total",
+		"simulation runs that returned an error")
+	metWorkerRunDur = obs.NewHistogram("mira_campaign_worker_run_seconds",
+		"wall-clock duration of one claimed simulation run", nil)
+)

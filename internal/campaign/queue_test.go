@@ -1,0 +1,269 @@
+package campaign
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for lease tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func openTestQueue(t *testing.T, dir string, clock *fakeClock) *Queue {
+	t.Helper()
+	q, err := OpenQueue(dir, QueueOptions{Lease: 10 * time.Second, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestQueueLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	q := openTestQueue(t, t.TempDir(), clock)
+
+	id, err := q.Submit(testSpec("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("first job id %d, want 1", id)
+	}
+	if _, err := q.Submit(JobSpec{Name: "bad"}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("invalid submit error %v, want ErrBadSpec", err)
+	}
+
+	resp, err := q.Claim(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.JobID != 1 || resp.Spec == nil || resp.Spec.Name != "a" || resp.Attempt != 1 {
+		t.Fatalf("claim %+v, want job 1 spec a attempt 1", resp)
+	}
+
+	if err := q.Heartbeat(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Heartbeat(1, 8); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("foreign heartbeat error %v, want ErrLeaseLost", err)
+	}
+
+	st, err := q.Complete(1, 7, RunResult{CMFailures: 3})
+	if err != nil || st != Completed {
+		t.Fatalf("complete: %v %v, want Completed", st, err)
+	}
+	// Double completion is a no-op duplicate — even from another worker.
+	dupsBefore := metCompleteDups.Value()
+	st, err = q.Complete(1, 9, RunResult{CMFailures: 99})
+	if err != nil || st != DuplicateComplete {
+		t.Fatalf("double complete: %v %v, want DuplicateComplete", st, err)
+	}
+	if metCompleteDups.Value() != dupsBefore+1 {
+		t.Fatal("mira_campaign_complete_duplicates_total did not advance")
+	}
+	results := q.Results()
+	if len(results) != 1 || results[0].CMFailures != 3 || results[0].JobID != 1 ||
+		results[0].Name != "a" || results[0].Worker != 7 {
+		t.Fatalf("results %+v: duplicate overwrote the first result or stamping failed", results)
+	}
+	if _, err := q.Complete(99, 7, RunResult{}); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("unknown job error %v, want ErrNoJob", err)
+	}
+}
+
+func TestQueueClaimIdempotentUnderRetry(t *testing.T) {
+	clock := newFakeClock()
+	q := openTestQueue(t, t.TempDir(), clock)
+	for i := 0; i < 3; i++ {
+		if _, err := q.Submit(testSpec("job", int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first, err := q.Claim(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The response was "lost"; the worker blindly retries the same seq and
+	// must get the same job, not consume a second one.
+	dupsBefore := metClaimDups.Value()
+	retry, err := q.Claim(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.JobID != first.JobID {
+		t.Fatalf("retried claim got job %d, want the same job %d", retry.JobID, first.JobID)
+	}
+	if metClaimDups.Value() != dupsBefore+1 {
+		t.Fatal("mira_campaign_claim_duplicates_total did not advance")
+	}
+	// A fresh seq gets the next job.
+	second, err := q.Claim(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.JobID == first.JobID {
+		t.Fatalf("fresh seq re-issued job %d", first.JobID)
+	}
+	// Stale seq is rejected.
+	if _, err := q.Claim(5, 1); err == nil {
+		t.Fatal("stale claim seq accepted")
+	}
+	// Zero identities are rejected.
+	if _, err := q.Claim(0, 1); err == nil {
+		t.Fatal("zero worker accepted")
+	}
+}
+
+func TestQueueLeaseExpiryRequeues(t *testing.T) {
+	clock := newFakeClock()
+	q := openTestQueue(t, t.TempDir(), clock)
+	if _, err := q.Submit(testSpec("orphan", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := q.Claim(1, 1)
+	if err != nil || resp.JobID != 1 {
+		t.Fatalf("claim: %+v %v", resp, err)
+	}
+	// Another worker sees nothing while the lease is live.
+	if r, err := q.Claim(2, 1); err != nil || r.JobID != 0 {
+		t.Fatalf("second claim under live lease: %+v %v, want empty", r, err)
+	}
+	if r, _ := q.Claim(2, 1); r.Running != 1 {
+		t.Fatalf("empty claim reports running=%d, want 1", r.Running)
+	}
+
+	// Worker 1 dies; the lease lapses; worker 2 inherits the job.
+	expBefore := metLeaseExpired.Value()
+	clock.Advance(11 * time.Second)
+	r, err := q.Claim(2, 2)
+	if err != nil || r.JobID != 1 {
+		t.Fatalf("claim after expiry: %+v %v, want job 1", r, err)
+	}
+	if r.Attempt != 2 {
+		t.Fatalf("inherited claim attempt %d, want 2", r.Attempt)
+	}
+	if metLeaseExpired.Value() != expBefore+1 {
+		t.Fatal("mira_campaign_leases_expired_total did not advance")
+	}
+	// The dead worker's heartbeat is rejected.
+	if err := q.Heartbeat(1, 1); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("dead worker heartbeat error %v, want ErrLeaseLost", err)
+	}
+	// Heartbeats keep worker 2's lease alive across expiry horizons.
+	for i := 0; i < 3; i++ {
+		clock.Advance(8 * time.Second)
+		if err := q.Heartbeat(1, 2); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	if st, err := q.Complete(1, 2, RunResult{}); err != nil || st != Completed {
+		t.Fatalf("complete after heartbeats: %v %v", st, err)
+	}
+}
+
+func TestQueueRestartDemotesInFlight(t *testing.T) {
+	clock := newFakeClock()
+	dir := t.TempDir()
+	q := openTestQueue(t, dir, clock)
+	for i := 0; i < 3; i++ {
+		if _, err := q.Submit(testSpec("r", int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Job 1 completes; job 2 is mid-flight when the dispatcher "crashes".
+	if r, err := q.Claim(1, 1); err != nil || r.JobID != 1 {
+		t.Fatalf("claim: %+v %v", r, err)
+	}
+	if _, err := q.Complete(1, 1, RunResult{Records: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := q.Claim(1, 2); err != nil || r.JobID != 2 {
+		t.Fatalf("claim 2: %+v %v", r, err)
+	}
+
+	// Reopen the same directory: the done job survives with its result, the
+	// in-flight job demotes to pending, nothing is lost or duplicated.
+	q2 := openTestQueue(t, dir, clock)
+	st := q2.Status()
+	if len(st) != 3 {
+		t.Fatalf("reopened queue has %d jobs, want 3", len(st))
+	}
+	if st[0].State != StateDone || st[1].State != StatePending || st[2].State != StatePending {
+		t.Fatalf("reopened states %v/%v/%v, want done/pending/pending", st[0].State, st[1].State, st[2].State)
+	}
+	if res := q2.Results(); len(res) != 1 || res[0].Records != 10 {
+		t.Fatalf("reopened results %+v, want the one stored result", res)
+	}
+	// The demoted job is immediately claimable again.
+	if r, err := q2.Claim(9, 1); err != nil || r.JobID != 2 {
+		t.Fatalf("claim after restart: %+v %v, want demoted job 2", r, err)
+	}
+	// Submissions continue with fresh IDs.
+	id, err := q2.Submit(testSpec("r", 4))
+	if err != nil || id != 4 {
+		t.Fatalf("submit after reopen: id %d err %v, want 4", id, err)
+	}
+}
+
+func TestQueueFailParksAfterMaxAttempts(t *testing.T) {
+	clock := newFakeClock()
+	dir := t.TempDir()
+	q, err := OpenQueue(dir, QueueOptions{Lease: 10 * time.Second, MaxAttempts: 2, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(testSpec("doomed", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// First failure requeues.
+	if r, err := q.Claim(1, 1); err != nil || r.JobID != 1 {
+		t.Fatalf("claim: %+v %v", r, err)
+	}
+	if err := q.Fail(1, 1, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Status(); st[0].State != StatePending {
+		t.Fatalf("state after first failure %v, want pending", st[0].State)
+	}
+	// Second failure parks it durably.
+	if r, err := q.Claim(1, 2); err != nil || r.JobID != 1 {
+		t.Fatalf("reclaim: %+v %v", r, err)
+	}
+	if err := q.Fail(1, 1, "boom again"); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Status(); st[0].State != StateFailed || st[0].Error != "boom again" {
+		t.Fatalf("state after second failure %+v, want failed with cause", st[0])
+	}
+	// The parked state survives restart.
+	q2 := openTestQueue(t, dir, clock)
+	if st := q2.Status(); st[0].State != StateFailed {
+		t.Fatalf("reopened state %v, want failed", st[0].State)
+	}
+	// And a parked job is not claimable.
+	if r, err := q2.Claim(2, 1); err != nil || r.JobID != 0 {
+		t.Fatalf("claim of parked job: %+v %v, want empty", r, err)
+	}
+}

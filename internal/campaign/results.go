@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Protocol sentinels.
+var (
+	// ErrLeaseLost tells a heartbeating worker its lease expired or moved.
+	ErrLeaseLost = errors.New("campaign: lease lost")
+	// ErrNoJob rejects an operation on an unknown job ID.
+	ErrNoJob = errors.New("campaign: no such job")
+)
+
+// RunResult is what a worker reports back for one completed job: the
+// reliability and efficiency outcomes the sweep exists to compare. JobID,
+// Name, Seed, and Worker are stamped by the queue at completion so a stale
+// worker cannot mislabel a result.
+type RunResult struct {
+	JobID          uint64  `json:"job_id"`
+	Name           string  `json:"name"`
+	Seed           int64   `json:"seed"`
+	Worker         uint64  `json:"worker,omitempty"`
+	Attempt        int     `json:"attempt,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+
+	// Telemetry volume.
+	Records int `json:"records"`
+
+	// Reliability outcomes (paper §IV).
+	CMFailures    int   `json:"cmf_failures"`
+	Incidents     int   `json:"incidents"`
+	NonCMFailures int   `json:"non_cmf_failures"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsKilled    int64 `json:"jobs_killed"`
+
+	// Efficiency outcomes (paper §V).
+	MeanPUE              float64 `json:"mean_pue,omitempty"`
+	WinterPUE            float64 `json:"winter_pue,omitempty"`
+	SummerPUE            float64 `json:"summer_pue,omitempty"`
+	CoolingEnergyKWh     float64 `json:"cooling_energy_kwh,omitempty"`
+	EconomizerSavingsKWh float64 `json:"economizer_savings_kwh,omitempty"`
+
+	// Coolant distribution shape (paper Fig. 7).
+	OutletSpreadPct float64 `json:"outlet_spread_pct,omitempty"`
+}
+
+// FormatDiffTable renders the sweep comparison: one row per completed job,
+// ID-ordered, with reliability and efficiency deltas against the first row
+// (the baseline). This is what `miraanalyze -campaign` prints.
+func FormatDiffTable(results []RunResult) string {
+	var b strings.Builder
+	if len(results) == 0 {
+		b.WriteString("campaign: no completed runs\n")
+		return b.String()
+	}
+	base := results[0]
+	fmt.Fprintf(&b, "%-4s %-20s %8s %5s %6s %7s %9s %12s %10s %8s %8s\n",
+		"job", "name", "seed", "cmf", "Δcmf", "killed", "noncmf",
+		"cooling_kWh", "Δ_kWh", "meanPUE", "spread%")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-4d %-20s %8d %5d %+6d %7d %9d %12.1f %+10.1f %8.4f %8.2f\n",
+			r.JobID, r.Name, r.Seed,
+			r.CMFailures, r.CMFailures-base.CMFailures,
+			r.JobsKilled, r.NonCMFailures,
+			r.CoolingEnergyKWh, r.CoolingEnergyKWh-base.CoolingEnergyKWh,
+			r.MeanPUE, r.OutletSpreadPct)
+	}
+	fmt.Fprintf(&b, "baseline: job %d (%s); deltas are row minus baseline\n",
+		base.JobID, base.Name)
+	return b.String()
+}

@@ -1,0 +1,348 @@
+// Package campaign turns the twin from one six-year run into a sweep of
+// what-if runs: a dispatcher owns a durable queue of simulation job specs,
+// workers claim jobs under leases over HTTP, run the simulation, and report
+// results back; a results store diffs outcomes across the sweep.
+//
+// The robustness contract, pinned by the package tests:
+//
+//   - a job spec file is versioned and CRC-checked, written with the same
+//     tmp+fsync+rename discipline as tsdb segments — a crash between the
+//     tmp write and the rename loses the in-flight transition, never a
+//     committed one;
+//   - claims are idempotent under blind retry: a worker re-sending the same
+//     (worker, seq) claim gets the same job back, not a second one;
+//   - leases expire: a job claimed by a worker that dies is requeued and
+//     handed to the next claimant;
+//   - dispatcher restart recovers the queue from disk with in-flight jobs
+//     demoted back to pending (leases are deliberately not persisted);
+//   - completing an already-completed job is a no-op duplicate, so a lost
+//     completion response is safely retried and a lease-expiry double run
+//     collapses to one result.
+package campaign
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"regexp"
+	"time"
+
+	"mira/internal/failure"
+	"mira/internal/scheduler"
+	"mira/internal/sim"
+	"mira/internal/timeutil"
+	"mira/internal/topology"
+)
+
+// Wire/disk envelope: magic(4) | payload length (uint32 LE) | JSON payload |
+// CRC32-IEEE over everything before the checksum. The same shape guards job
+// specs (submit bodies, CLI spec files), queue records (one file per job),
+// and claim responses.
+const (
+	specMagic  = "MCJ1" // job spec envelope
+	claimMagic = "MCC1" // claim response envelope
+	queueMagic = "MCQ1" // durable queue record envelope
+
+	envHeaderLen = 8               // magic + length
+	envTrailLen  = 4               // crc32
+	maxEnvelope  = 1 << 20         // 1 MiB payload cap: reject absurd lengths before allocating
+	SpecVersion  = 1               // bumped when JobSpec's JSON schema changes incompatibly
+	nameMaxLen   = 64              // job names stay filesystem- and table-friendly
+	maxWindow    = 20 * 365.25 * 2 // days: twice the related-work horizon, sanity cap
+)
+
+// Sentinel errors. Decoders wrap these — never panic — which the fuzz
+// targets hold them to.
+var (
+	// ErrBadSpec rejects a malformed or invalid job spec envelope.
+	ErrBadSpec = errors.New("campaign: bad job spec")
+	// ErrBadClaim rejects a malformed claim response envelope.
+	ErrBadClaim = errors.New("campaign: bad claim response")
+	// ErrCorrupt rejects a damaged durable queue record.
+	ErrCorrupt = errors.New("campaign: corrupt queue record")
+)
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// JobSpec is one entry in a campaign sweep: everything needed to reproduce
+// a simulation run. The zero value of each knob means "model default", so a
+// sweep spec names only the axes it varies.
+type JobSpec struct {
+	// Version is the spec schema version (SpecVersion when encoded).
+	Version int `json:"version"`
+	// Name labels the run in status and diff tables.
+	Name string `json:"name"`
+	// Seed drives the whole run; equal specs produce equal results.
+	Seed int64 `json:"seed"`
+	// Halls and Racks size the fleet (defaults 1 hall × 48 racks).
+	Halls int `json:"halls,omitempty"`
+	Racks int `json:"racks,omitempty"`
+	// Start and End bound the window, "YYYY-MM-DD" in the plant's zone.
+	Start string `json:"start"`
+	End   string `json:"end"`
+	// StepSeconds is the tick length (default 300 s).
+	StepSeconds int `json:"step_seconds,omitempty"`
+	// RetentionHours folds partitions older than the hot window into cold
+	// segments in the worker's local store (0 = keep raw).
+	RetentionHours int `json:"retention_hours,omitempty"`
+	// WeatherSeed picks the weather draw independently of Seed (0 = derive
+	// from Seed), the "same workload, different summer" axis.
+	WeatherSeed int64 `json:"weather_seed,omitempty"`
+	// FailureScale multiplies the mean chiller/coolant episode rate per
+	// rack (1.0 = paper-calibrated; 0 = default). The chiller-failure
+	// injection axis.
+	FailureScale float64 `json:"failure_scale,omitempty"`
+	// CascadeProb overrides the probability that a CMF episode drags down
+	// hydraulically adjacent racks (0 = default 0.55).
+	CascadeProb float64 `json:"cascade_prob,omitempty"`
+	// BackfillBase and QueueLimit shape the workload mix (0 = defaults).
+	BackfillBase float64 `json:"backfill_base,omitempty"`
+	QueueLimit   int     `json:"queue_limit,omitempty"`
+	// Push streams the run's telemetry into a shared telemetrynet store at
+	// this base URL instead of a worker-local throwaway store.
+	Push string `json:"push,omitempty"`
+}
+
+// Validate checks the spec against model bounds. Errors wrap ErrBadSpec.
+func (s JobSpec) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+	}
+	if s.Version != SpecVersion {
+		return fail("version %d, want %d", s.Version, SpecVersion)
+	}
+	if s.Name == "" || len(s.Name) > nameMaxLen || !nameRe.MatchString(s.Name) {
+		return fail("name %q: want 1..%d chars of [A-Za-z0-9._-]", s.Name, nameMaxLen)
+	}
+	if s.Halls < 0 || s.Halls > topology.MaxHalls {
+		return fail("halls %d out of range 0..%d", s.Halls, topology.MaxHalls)
+	}
+	if s.Racks < 0 || s.Racks > topology.NumRacks {
+		return fail("racks %d out of range 0..%d", s.Racks, topology.NumRacks)
+	}
+	start, end, err := s.Window()
+	if err != nil {
+		return err
+	}
+	if days := end.Sub(start).Hours() / 24; days > maxWindow {
+		return fail("window %.0f days exceeds the %.0f-day cap", days, float64(maxWindow))
+	}
+	if s.StepSeconds < 0 || s.StepSeconds > 24*3600 {
+		return fail("step_seconds %d out of range 0..86400", s.StepSeconds)
+	}
+	if s.RetentionHours < 0 {
+		return fail("retention_hours %d negative", s.RetentionHours)
+	}
+	if s.FailureScale < 0 || s.FailureScale > 100 {
+		return fail("failure_scale %v out of range 0..100", s.FailureScale)
+	}
+	if s.CascadeProb < 0 || s.CascadeProb > 1 {
+		return fail("cascade_prob %v out of range 0..1", s.CascadeProb)
+	}
+	if s.BackfillBase < 0 || s.BackfillBase > 1 {
+		return fail("backfill_base %v out of range 0..1", s.BackfillBase)
+	}
+	if s.QueueLimit < 0 {
+		return fail("queue_limit %d negative", s.QueueLimit)
+	}
+	return nil
+}
+
+// Window parses the spec's date bounds in the plant's zone.
+func (s JobSpec) Window() (start, end time.Time, err error) {
+	start, err = time.ParseInLocation("2006-01-02", s.Start, timeutil.Chicago)
+	if err != nil {
+		return start, end, fmt.Errorf("%w: start %q: not YYYY-MM-DD", ErrBadSpec, s.Start)
+	}
+	end, err = time.ParseInLocation("2006-01-02", s.End, timeutil.Chicago)
+	if err != nil {
+		return start, end, fmt.Errorf("%w: end %q: not YYYY-MM-DD", ErrBadSpec, s.End)
+	}
+	if !end.After(start) {
+		return start, end, fmt.Errorf("%w: empty window %s..%s", ErrBadSpec, s.Start, s.End)
+	}
+	return start, end, nil
+}
+
+// Fleet returns the normalized fleet topology.
+func (s JobSpec) Fleet() topology.Fleet {
+	return topology.Fleet{Halls: s.Halls, Racks: s.Racks}.Norm()
+}
+
+// Step returns the tick length.
+func (s JobSpec) Step() time.Duration {
+	if s.StepSeconds <= 0 {
+		return timeutil.SampleInterval
+	}
+	return time.Duration(s.StepSeconds) * time.Second
+}
+
+// EffectiveWeatherSeed resolves the weather draw the run will use, mirroring
+// sim.Config's default so analysis of the result replays the same weather.
+func (s JobSpec) EffectiveWeatherSeed() int64 {
+	if s.WeatherSeed != 0 {
+		return s.WeatherSeed
+	}
+	return s.Seed + 5
+}
+
+// SimConfig maps the spec onto one hall's simulator configuration,
+// hall-offsetting the seed the same way mirasim does so a campaign run of a
+// fleet matches the CLI run of the same fleet.
+func (s JobSpec) SimConfig(hall int) (sim.Config, error) {
+	start, end, err := s.Window()
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Config{
+		Seed:        s.Seed + int64(hall),
+		Start:       start,
+		End:         end,
+		Step:        s.Step(),
+		WeatherSeed: s.EffectiveWeatherSeed(),
+	}
+	if s.FailureScale > 0 || s.CascadeProb > 0 {
+		f := failure.Config{Seed: cfg.Seed + 2}
+		if s.FailureScale > 0 {
+			f.MeanEpisodesPerRack = 2.5 * s.FailureScale
+		}
+		if s.CascadeProb > 0 {
+			f.CascadeExtraProb = s.CascadeProb
+		}
+		cfg.Failure = f
+	}
+	if s.BackfillBase > 0 || s.QueueLimit > 0 {
+		w := scheduler.Config{Seed: cfg.Seed + 1}
+		if s.BackfillBase > 0 {
+			w.BackfillBase = s.BackfillBase
+		}
+		if s.QueueLimit > 0 {
+			w.QueueLimit = s.QueueLimit
+		}
+		cfg.Scheduler = w
+	}
+	return cfg, nil
+}
+
+// encodeEnvelope frames payload under magic with length and CRC.
+func encodeEnvelope(magic string, payload []byte) []byte {
+	buf := make([]byte, 0, envHeaderLen+len(payload)+envTrailLen)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeEnvelope verifies magic, length, and CRC, returning the payload.
+// Errors wrap sentinel, with a short reason.
+func decodeEnvelope(magic string, sentinel error, b []byte) ([]byte, error) {
+	fail := func(reason string) ([]byte, error) {
+		return nil, fmt.Errorf("%w: %s", sentinel, reason)
+	}
+	if len(b) < envHeaderLen+envTrailLen {
+		return fail("truncated header")
+	}
+	if string(b[:4]) != magic {
+		return fail(fmt.Sprintf("magic %q, want %q", b[:4], magic))
+	}
+	n := binary.LittleEndian.Uint32(b[4:8])
+	if n > maxEnvelope {
+		return fail(fmt.Sprintf("payload length %d exceeds %d cap", n, maxEnvelope))
+	}
+	total := envHeaderLen + int(n) + envTrailLen
+	if len(b) != total {
+		return fail(fmt.Sprintf("length %d, envelope declares %d", len(b), total))
+	}
+	want := binary.LittleEndian.Uint32(b[total-envTrailLen:])
+	if got := crc32.ChecksumIEEE(b[:total-envTrailLen]); got != want {
+		return fail(fmt.Sprintf("crc %08x, want %08x", got, want))
+	}
+	return b[envHeaderLen : total-envTrailLen], nil
+}
+
+// EncodeJobSpec frames a validated spec for the wire or disk. The version
+// field is stamped if unset.
+func EncodeJobSpec(s JobSpec) ([]byte, error) {
+	if s.Version == 0 {
+		s.Version = SpecVersion
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return encodeEnvelope(specMagic, payload), nil
+}
+
+// DecodeJobSpec parses and validates a framed spec. Every failure wraps
+// ErrBadSpec; malformed input never panics.
+func DecodeJobSpec(b []byte) (JobSpec, error) {
+	var s JobSpec
+	payload, err := decodeEnvelope(specMagic, ErrBadSpec, b)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return JobSpec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if err := s.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	return s, nil
+}
+
+// ClaimResponse is the dispatcher's answer to a claim: a job under lease,
+// or — with JobID zero — "nothing for you", plus the queue depths a worker
+// uses to decide between polling again and exiting because the sweep
+// drained.
+type ClaimResponse struct {
+	JobID   uint64   `json:"job_id,omitempty"`
+	Spec    *JobSpec `json:"spec,omitempty"`
+	Attempt int      `json:"attempt,omitempty"`
+	LeaseMS int64    `json:"lease_ms,omitempty"`
+	Pending int      `json:"pending"`
+	Running int      `json:"running"`
+}
+
+// EncodeClaimResponse frames a claim response.
+func EncodeClaimResponse(c ClaimResponse) ([]byte, error) {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadClaim, err)
+	}
+	return encodeEnvelope(claimMagic, payload), nil
+}
+
+// ParseClaimResponse parses and validates a framed claim response. Every
+// failure wraps ErrBadClaim; malformed input never panics.
+func ParseClaimResponse(b []byte) (ClaimResponse, error) {
+	var c ClaimResponse
+	payload, err := decodeEnvelope(claimMagic, ErrBadClaim, b)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return ClaimResponse{}, fmt.Errorf("%w: %v", ErrBadClaim, err)
+	}
+	if c.JobID != 0 {
+		if c.Spec == nil {
+			return ClaimResponse{}, fmt.Errorf("%w: job %d has no spec", ErrBadClaim, c.JobID)
+		}
+		if err := c.Spec.Validate(); err != nil {
+			return ClaimResponse{}, fmt.Errorf("%w: job %d: %v", ErrBadClaim, c.JobID, err)
+		}
+		if c.LeaseMS <= 0 {
+			return ClaimResponse{}, fmt.Errorf("%w: job %d lease %dms", ErrBadClaim, c.JobID, c.LeaseMS)
+		}
+	} else if c.Spec != nil {
+		return ClaimResponse{}, fmt.Errorf("%w: spec without job id", ErrBadClaim)
+	}
+	if c.Pending < 0 || c.Running < 0 {
+		return ClaimResponse{}, fmt.Errorf("%w: negative depths %d/%d", ErrBadClaim, c.Pending, c.Running)
+	}
+	return c, nil
+}

@@ -1,0 +1,300 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"mira/internal/obs"
+)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// ID identifies this worker to the dispatcher's claim dedup (default:
+	// random nonzero).
+	ID uint64
+	// Poll is the idle wait between claims while jobs are still running
+	// elsewhere (default 500 ms).
+	Poll time.Duration
+	// Retries bounds blind per-request retries (default 50, matching the
+	// lossy-transport tests' budget).
+	Retries int
+	// Run executes one claimed job. Defaults to RunJob (the real
+	// simulation); tests substitute stubs.
+	Run func(ctx context.Context, spec JobSpec) (RunResult, error)
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Context cancels the loop (default context.Background()).
+	Context context.Context
+	// Logger receives progress lines; nil is silent.
+	Logger *obs.Logger
+}
+
+// Worker claims jobs from a dispatcher, runs them, and reports results,
+// heartbeating its lease while a run is in flight. Every RPC is blindly
+// retried: claims are deduplicated server-side by (worker, seq), and
+// completion is idempotent, so retries never double-consume or
+// double-complete.
+type Worker struct {
+	base string
+	opts WorkerOptions
+	seq  uint64
+
+	// Completed and Duplicates count this worker's completion outcomes,
+	// readable after RunLoop returns.
+	Completed  int
+	Duplicates int
+}
+
+// NewWorker builds a worker against a dispatcher base URL.
+func NewWorker(baseURL string, opts WorkerOptions) *Worker {
+	if opts.ID == 0 {
+		opts.ID = uint64(rand.Int63()) | 1
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 500 * time.Millisecond
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 50
+	}
+	if opts.Run == nil {
+		opts.Run = RunJob
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	if opts.Context == nil {
+		opts.Context = context.Background()
+	}
+	return &Worker{base: strings.TrimRight(baseURL, "/"), opts: opts}
+}
+
+// ID returns the worker's claim identity.
+func (w *Worker) ID() uint64 { return w.opts.ID }
+
+func (w *Worker) infof(format string, args ...any) {
+	if w.opts.Logger != nil {
+		w.opts.Logger.Infof(format, args...)
+	}
+}
+
+// post issues one POST under ctx with the active span on the wire,
+// returning status and body. Transport errors surface as err.
+func (w *Worker) post(ctx context.Context, path string, q url.Values, body []byte) (int, []byte, error) {
+	u := w.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		req.Header.Set(obs.TraceHeader, sc.HeaderValue())
+	}
+	resp, err := w.opts.HTTPClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEnvelope+envHeaderLen+envTrailLen+1))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// backoff sleeps a short, attempt-scaled, deterministic-jittered pause
+// between blind retries, or returns false if ctx died.
+func (w *Worker) backoff(ctx context.Context, attempt int) bool {
+	d := time.Duration(attempt+1) * 5 * time.Millisecond
+	if d > 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// claim asks for a job, blindly retrying under one (worker, seq) token so a
+// lost response cannot leak a second job.
+func (w *Worker) claim(ctx context.Context) (ClaimResponse, error) {
+	w.seq++
+	cctx, span := obs.Span(ctx, "campaign.worker.claim")
+	defer span.End()
+	q := url.Values{
+		"worker": {fmt.Sprint(w.opts.ID)},
+		"seq":    {fmt.Sprint(w.seq)},
+	}
+	var lastErr error
+	for attempt := 0; attempt < w.opts.Retries; attempt++ {
+		code, body, err := w.post(cctx, "/v1/campaign/claim", q, nil)
+		switch {
+		case err != nil || code >= 500:
+			lastErr = fmt.Errorf("campaign: claim attempt %d: status %d err %v", attempt, code, err)
+		case code != http.StatusOK:
+			return ClaimResponse{}, fmt.Errorf("campaign: claim rejected: status %d: %s", code, body)
+		default:
+			resp, perr := ParseClaimResponse(body)
+			if perr != nil {
+				return ClaimResponse{}, perr
+			}
+			span.SetAttr("job", fmt.Sprint(resp.JobID))
+			return resp, nil
+		}
+		if !w.backoff(cctx, attempt) {
+			return ClaimResponse{}, cctx.Err()
+		}
+	}
+	return ClaimResponse{}, lastErr
+}
+
+// complete reports a result, blindly retrying; a duplicate answer means an
+// earlier attempt (or another worker) already committed it.
+func (w *Worker) complete(ctx context.Context, jobID uint64, res RunResult) (CompleteStatus, error) {
+	cctx, span := obs.Span(ctx, "campaign.worker.complete")
+	defer span.End()
+	span.SetAttr("job", fmt.Sprint(jobID))
+	body, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	q := url.Values{
+		"job":    {fmt.Sprint(jobID)},
+		"worker": {fmt.Sprint(w.opts.ID)},
+	}
+	var lastErr error
+	for attempt := 0; attempt < w.opts.Retries; attempt++ {
+		code, b, err := w.post(cctx, "/v1/campaign/complete", q, body)
+		switch {
+		case err != nil || code >= 500:
+			lastErr = fmt.Errorf("campaign: complete attempt %d: status %d err %v", attempt, code, err)
+		case code != http.StatusOK:
+			return "", fmt.Errorf("campaign: complete rejected: status %d: %s", code, b)
+		default:
+			var out struct {
+				Status CompleteStatus `json:"status"`
+			}
+			if err := json.Unmarshal(b, &out); err != nil {
+				return "", fmt.Errorf("campaign: complete response: %w", err)
+			}
+			return out.Status, nil
+		}
+		if !w.backoff(cctx, attempt) {
+			return "", cctx.Err()
+		}
+	}
+	return "", lastErr
+}
+
+// fail reports a run error so the dispatcher requeues (or parks) the job.
+func (w *Worker) fail(ctx context.Context, jobID uint64, cause error) {
+	q := url.Values{
+		"job":    {fmt.Sprint(jobID)},
+		"worker": {fmt.Sprint(w.opts.ID)},
+	}
+	for attempt := 0; attempt < w.opts.Retries; attempt++ {
+		code, _, err := w.post(ctx, "/v1/campaign/fail", q, []byte(cause.Error()))
+		if err == nil && code < 500 {
+			return
+		}
+		if !w.backoff(ctx, attempt) {
+			return
+		}
+	}
+}
+
+// heartbeat renews the lease every interval until stop closes; a 409 means
+// the lease is gone and the result may lose the completion race.
+func (w *Worker) heartbeat(ctx context.Context, jobID uint64, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			q := url.Values{
+				"job":    {fmt.Sprint(jobID)},
+				"worker": {fmt.Sprint(w.opts.ID)},
+			}
+			code, _, err := w.post(ctx, "/v1/campaign/heartbeat", q, nil)
+			if err == nil && code == http.StatusConflict {
+				w.infof("worker %d: lease lost on job %d", w.opts.ID, jobID)
+				return
+			}
+		}
+	}
+}
+
+// RunLoop claims and runs jobs until the dispatcher reports the sweep
+// drained (no pending and no running jobs) or the context is canceled.
+func (w *Worker) RunLoop() error {
+	ctx := w.opts.Context
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := w.claim(ctx)
+		if err != nil {
+			return err
+		}
+		if resp.JobID == 0 {
+			if resp.Pending == 0 && resp.Running == 0 {
+				w.infof("worker %d: queue drained, exiting", w.opts.ID)
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.opts.Poll):
+			}
+			continue
+		}
+
+		w.infof("worker %d: claimed job %d (%s, attempt %d)",
+			w.opts.ID, resp.JobID, resp.Spec.Name, resp.Attempt)
+		hbStop := make(chan struct{})
+		hbInterval := time.Duration(resp.LeaseMS) * time.Millisecond / 3
+		if hbInterval <= 0 {
+			hbInterval = time.Second
+		}
+		go w.heartbeat(ctx, resp.JobID, hbInterval, hbStop)
+
+		start := time.Now()
+		metWorkerRuns.Inc()
+		res, runErr := w.opts.Run(ctx, *resp.Spec)
+		close(hbStop)
+		metWorkerRunDur.ObserveSince(start)
+		if runErr != nil {
+			metWorkerRunFailures.Inc()
+			w.infof("worker %d: job %d failed: %v", w.opts.ID, resp.JobID, runErr)
+			w.fail(ctx, resp.JobID, runErr)
+			continue
+		}
+		res.Attempt = resp.Attempt
+		res.ElapsedSeconds = time.Since(start).Seconds()
+		status, err := w.complete(ctx, resp.JobID, res)
+		if err != nil {
+			return fmt.Errorf("campaign: worker %d job %d: %w", w.opts.ID, resp.JobID, err)
+		}
+		if status == DuplicateComplete {
+			w.Duplicates++
+		} else {
+			w.Completed++
+		}
+		w.infof("worker %d: job %d %s (%.1fs)", w.opts.ID, resp.JobID, status, res.ElapsedSeconds)
+	}
+}

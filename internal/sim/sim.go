@@ -91,6 +91,10 @@ type Config struct {
 	Start, End time.Time
 	// Step is the tick length (default timeutil.SampleInterval = 300 s).
 	Step time.Duration
+	// WeatherSeed overrides the outdoor-weather model's seed (default
+	// Seed+5), so a campaign can sweep weather years independently of the
+	// workload/failure draw.
+	WeatherSeed int64
 	// Scheduler, Failure override model parameters when non-zero.
 	Scheduler scheduler.Config
 	Failure   failure.Config
@@ -111,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Failure.Seed == 0 {
 		c.Failure.Seed = c.Seed + 2
+	}
+	if c.WeatherSeed == 0 {
+		c.WeatherSeed = c.Seed + 5
 	}
 	return c
 }
@@ -159,7 +166,7 @@ func New(cfg Config) *Simulator {
 		gen:    workload.NewGenerator(cfg.Seed + 3),
 		sched:  scheduler.New(cfg.Scheduler),
 		powerM: power.NewModel(cfg.Seed + 4),
-		wx:     weather.New(cfg.Seed + 5),
+		wx:     weather.New(cfg.WeatherSeed),
 		log:    ras.NewLog(),
 		thresh: sensors.DefaultThresholds(),
 	}

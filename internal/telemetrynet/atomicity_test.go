@@ -9,11 +9,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"mira/internal/sensors"
+	"mira/internal/telemetrynet/faultinject"
 	"mira/internal/timeutil"
 	"mira/internal/topology"
 	"mira/internal/tsdb"
@@ -164,40 +164,20 @@ func TestDedupEviction(t *testing.T) {
 	}
 }
 
-// flakyTransport wraps the real server handler with deterministic fault
-// injection: every third request dies with a 503 before the handler runs,
-// and every seventh commits to the store but kills the connection before
-// the client sees the response — the two failure shapes an ingest client
-// must survive with blind retries.
-type flakyTransport struct {
-	inner http.Handler
-	n     atomic.Int64
-}
-
-func (f *flakyTransport) ServeHTTP(w http.ResponseWriter, req *http.Request) {
-	k := f.n.Add(1)
-	switch {
-	case k%3 == 0:
-		http.Error(w, "injected outage", http.StatusServiceUnavailable)
-	case k%7 == 0:
-		// Apply for real, then drop the response on the floor.
-		rec := httptest.NewRecorder()
-		f.inner.ServeHTTP(rec, req)
-		panic(http.ErrAbortHandler)
-	default:
-		f.inner.ServeHTTP(w, req)
-	}
-}
-
 // TestExactlyOnceUnderLossyTransport is the end-to-end idempotency pin:
 // several clients push distinct batch streams concurrently through a
-// transport that drops requests before application and responses after
-// application, every failure is blindly retried under the same (client,
-// seq) token, and the store ends up with exactly the union of the unique
+// faultinject.Transport that drops requests before application (503 every
+// third attempt) and responses after application (connection killed every
+// seventh), every failure is blindly retried under the same (client, seq)
+// token, and the store ends up with exactly the union of the unique
 // batches — nothing lost, nothing doubled.
 func TestExactlyOnceUnderLossyTransport(t *testing.T) {
 	store := tsdb.NewStoreWith(tsdb.Options{Partition: 24 * time.Hour})
-	ts := httptest.NewServer(&flakyTransport{inner: NewServer(store, ServerOptions{}).Handler()})
+	flaky := &faultinject.Transport{
+		Inner: NewServer(store, ServerOptions{}).Handler(),
+		Rule:  faultinject.EveryNth(3, 7),
+	}
+	ts := httptest.NewServer(flaky)
 	defer ts.Close()
 
 	const clients = 8
@@ -250,6 +230,10 @@ func TestExactlyOnceUnderLossyTransport(t *testing.T) {
 		}
 	}
 
+	if flaky.Injected(faultinject.Drop) == 0 || flaky.Injected(faultinject.Blackhole) == 0 {
+		t.Fatalf("fault schedule never fired (drop=%d blackhole=%d); test proved nothing",
+			flaky.Injected(faultinject.Drop), flaky.Injected(faultinject.Blackhole))
+	}
 	if want := clients * batches * 6; store.Len() != want {
 		t.Fatalf("store has %d records, want exactly %d (union of unique batches)", store.Len(), want)
 	}

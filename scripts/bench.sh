@@ -65,6 +65,13 @@ awk '
 	}
 ' "$tmp/bench.txt" >"$tmp/benchmarks.json"
 
+# The campaign dispatcher's per-job protocol overhead — one claim →
+# heartbeat → complete round trip over real HTTP, durable completion write
+# included — rides with the network snapshot: it lands under
+# campaign_benchmarks in BENCH_net.json, preserving miraload's sections.
+go test -run '^$' -bench '^BenchmarkClaimCycle$' -benchmem -count 1 ./internal/campaign/ | tee "$tmp/campaign.txt"
+go run ./scripts/benchmerge -in "$tmp/campaign.txt" -key campaign_benchmarks -out BENCH_net.json
+
 {
 	printf '{\n'
 	printf '  "schema": "mira-bench/v1",\n'

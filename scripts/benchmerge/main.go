@@ -1,0 +1,103 @@
+// Command benchmerge folds `go test -bench` output into an existing JSON
+// benchmark snapshot under a named key, preserving every other key. It is
+// how make bench records the campaign dispatcher's BenchmarkClaimCycle
+// into BENCH_net.json without clobbering miraload's latency sections (and
+// how bench_net.sh keeps that section across a fresh miraload snapshot).
+//
+// Usage: go run ./scripts/benchmerge -in bench.txt -key campaign_benchmarks -out BENCH_net.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "go test -bench output to parse")
+		key = flag.String("key", "", "top-level key to set in the snapshot")
+		out = flag.String("out", "", "JSON snapshot to update in place (created if missing)")
+	)
+	flag.Parse()
+	if *in == "" || *key == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "benchmerge: -in, -key, and -out are all required")
+		os.Exit(2)
+	}
+
+	benches, err := parseBench(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no Benchmark lines in %s", *in))
+	}
+
+	snapshot := map[string]any{"schema": "mira-bench-net/v1"}
+	if b, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(b, &snapshot); err != nil {
+			fatal(fmt.Errorf("%s: %w", *out, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+	snapshot[*key] = benches
+
+	enc, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmerge: %s <- %q (%d benchmarks)\n", *out, *key, len(benches))
+}
+
+// parseBench turns `go test -bench` result lines into JSON-ready objects:
+//
+//	BenchmarkClaimCycle-8  747  1571498 ns/op  42260 B/op  331 allocs/op
+//
+// becomes {"name": "BenchmarkClaimCycle-8", "iterations": 747,
+// "ns_per_op": 1571498, ...}, matching the unit spelling bench.sh's awk
+// uses for BENCH_tsdb.json.
+func parseBench(path string) ([]map[string]any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var benches []map[string]any
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := map[string]any{"name": fields[0], "iterations": iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := strings.ReplaceAll(fields[i+1], "/", "_per_")
+			unit = strings.ReplaceAll(unit, "%", "pct")
+			b[unit] = v
+		}
+		benches = append(benches, b)
+	}
+	return benches, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
+	os.Exit(1)
+}

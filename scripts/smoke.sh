@@ -13,9 +13,17 @@ cd "$(dirname "$0")/.."
 bin=$(mktemp -d)
 data=$(mktemp -d)
 mon_pid=
-trap '[ -n "$mon_pid" ] && kill "$mon_pid" 2>/dev/null; rm -rf "$bin" "$data"' EXIT
+disp_pid=
+wkr_pids=
+cleanup() {
+	[ -n "$mon_pid" ] && kill "$mon_pid" 2>/dev/null
+	[ -n "$disp_pid" ] && kill "$disp_pid" 2>/dev/null
+	for p in $wkr_pids; do kill "$p" 2>/dev/null || true; done
+	rm -rf "$bin" "$data"
+}
+trap cleanup EXIT
 
-go build -o "$bin" ./cmd/mirasim ./cmd/miraanalyze ./cmd/miramon
+go build -o "$bin" ./cmd/mirasim ./cmd/miraanalyze ./cmd/miramon ./cmd/miradispatch
 
 "$bin/mirasim" -start 2014-03-05 -end 2014-03-12 \
 	-data "$data/seg" -telemetry "$data/telemetry.csv" >/dev/null
@@ -215,6 +223,168 @@ wait "$mon_pid" || {
 }
 mon_pid=
 
+# Campaign sweep: a 3-job scenario sweep across 2 workers must complete
+# every job exactly once even though one worker is SIGKILLed mid-job and
+# the dispatcher is restarted once mid-sweep — the durable queue recovers
+# from disk with the in-flight job demoted back to pending, fresh workers
+# drain the sweep, and the comparison table prints all three rows.
+cat >"$data/sweep1.json" <<'EOF'
+{"name": "sweep1", "seed": 42, "start": "2014-03-01", "end": "2014-06-01"}
+EOF
+cat >"$data/sweep2.json" <<'EOF'
+{"name": "sweep2", "seed": 42, "start": "2014-03-01", "end": "2014-06-01", "failure_scale": 3}
+EOF
+cat >"$data/sweep3.json" <<'EOF'
+{"name": "sweep3", "seed": 42, "start": "2014-03-01", "end": "2014-06-01", "weather_seed": 7}
+EOF
+
+"$bin/miradispatch" -data "$data/campaign" -listen 127.0.0.1:0 -lease 2s \
+	2>"$data/disp1.log" &
+disp_pid=$!
+caddr=
+i=0
+while [ $i -lt 100 ]; do
+	caddr=$(sed -n 's/.*campaign dispatcher on //p' "$data/disp1.log" | head -n 1)
+	[ -n "$caddr" ] && break
+	kill -0 "$disp_pid" 2>/dev/null || {
+		echo "smoke: miradispatch exited early:" >&2
+		cat "$data/disp1.log" >&2
+		exit 1
+	}
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$caddr" ] || {
+	echo "smoke: miradispatch never reported its address" >&2
+	cat "$data/disp1.log" >&2
+	exit 1
+}
+
+"$bin/miradispatch" -url "http://$caddr" \
+	-submit "$data/sweep1.json,$data/sweep2.json,$data/sweep3.json" >"$data/submit.txt"
+[ "$(grep -c 'submitted' "$data/submit.txt")" = 3 ] || {
+	echo "smoke: expected 3 submitted jobs:" >&2
+	cat "$data/submit.txt" >&2
+	exit 1
+}
+
+# Worker A claims a job and is SIGKILLed mid-run — no fail report, no
+# graceful anything; its job must come back through queue recovery.
+"$bin/mirasim" -worker "http://$caddr" 2>"$data/workerA.log" &
+wkrA=$!
+wkr_pids="$wkrA"
+i=0
+while [ $i -lt 200 ]; do
+	grep -q 'claimed job' "$data/workerA.log" && break
+	kill -0 "$wkrA" 2>/dev/null || break
+	sleep 0.05
+	i=$((i + 1))
+done
+grep -q 'claimed job' "$data/workerA.log" || {
+	echo "smoke: worker A never claimed a job:" >&2
+	cat "$data/workerA.log" >&2
+	exit 1
+}
+kill -9 "$wkrA"
+wait "$wkrA" 2>/dev/null || true
+wkr_pids=
+
+# Restart the dispatcher mid-sweep over the same queue directory: the
+# killed worker's in-flight job (leases are in-memory only) must demote
+# back to pending, with nothing lost and nothing duplicated.
+kill -TERM "$disp_pid"
+wait "$disp_pid" || {
+	echo "smoke: miradispatch exited non-zero on SIGTERM:" >&2
+	cat "$data/disp1.log" >&2
+	exit 1
+}
+disp_pid=
+grep -q 'shutdown complete' "$data/disp1.log" || {
+	echo "smoke: miradispatch did not log a graceful shutdown:" >&2
+	cat "$data/disp1.log" >&2
+	exit 1
+}
+
+"$bin/miradispatch" -data "$data/campaign" -listen 127.0.0.1:0 -lease 2s \
+	2>"$data/disp2.log" &
+disp_pid=$!
+caddr=
+i=0
+while [ $i -lt 100 ]; do
+	caddr=$(sed -n 's/.*campaign dispatcher on //p' "$data/disp2.log" | head -n 1)
+	[ -n "$caddr" ] && break
+	kill -0 "$disp_pid" 2>/dev/null || {
+		echo "smoke: restarted miradispatch exited early:" >&2
+		cat "$data/disp2.log" >&2
+		exit 1
+	}
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$caddr" ] || {
+	echo "smoke: restarted miradispatch never reported its address" >&2
+	cat "$data/disp2.log" >&2
+	exit 1
+}
+grep -q 'recovered: 3 pending, 0 done, 0 failed' "$data/disp2.log" || {
+	echo "smoke: restarted dispatcher did not demote the in-flight job:" >&2
+	cat "$data/disp2.log" >&2
+	exit 1
+}
+
+# Two fresh workers drain the sweep and exit on their own.
+"$bin/mirasim" -worker "http://$caddr" 2>"$data/workerB.log" &
+wkrB=$!
+"$bin/mirasim" -worker "http://$caddr" 2>"$data/workerC.log" &
+wkrC=$!
+wkr_pids="$wkrB $wkrC"
+for w in B:$wkrB C:$wkrC; do
+	pid=${w#*:}
+	wait "$pid" || {
+		echo "smoke: worker ${w%%:*} exited non-zero:" >&2
+		cat "$data/worker${w%%:*}.log" >&2
+		exit 1
+	}
+done
+wkr_pids=
+for w in B C; do
+	grep -q 'queue drained' "$data/worker$w.log" || {
+		echo "smoke: worker $w did not exit on a drained queue:" >&2
+		cat "$data/worker$w.log" >&2
+		exit 1
+	}
+done
+
+"$bin/miradispatch" -url "http://$caddr" -status >"$data/campaign-status.txt"
+[ "$(grep -c ' done ' "$data/campaign-status.txt")" = 3 ] || {
+	echo "smoke: expected 3 done jobs after the sweep:" >&2
+	cat "$data/campaign-status.txt" >&2
+	exit 1
+}
+
+"$bin/miraanalyze" -campaign "http://$caddr" >"$data/campaign-table.txt"
+grep -q '3 jobs, 3 completed' "$data/campaign-table.txt" || {
+	echo "smoke: campaign results are not exactly-once:" >&2
+	cat "$data/campaign-table.txt" >&2
+	exit 1
+}
+for name in sweep1 sweep2 sweep3; do
+	grep -q "$name" "$data/campaign-table.txt" || {
+		echo "smoke: comparison table is missing $name:" >&2
+		cat "$data/campaign-table.txt" >&2
+		exit 1
+	}
+done
+grep -q 'baseline: job 1 (sweep1)' "$data/campaign-table.txt" || {
+	echo "smoke: comparison table has no baseline line:" >&2
+	cat "$data/campaign-table.txt" >&2
+	exit 1
+}
+
+kill -TERM "$disp_pid"
+wait "$disp_pid" || true
+disp_pid=
+
 # A corrupted cold segment must be rejected as descriptively as a raw one.
 coldseg=$(find "$data/cold" -name '*.cold.seg' | head -n 1)
 coldsize=$(wc -c <"$coldseg")
@@ -243,4 +413,4 @@ grep -q 'corrupt segment' "$data/corrupt.txt" || {
 	exit 1
 }
 
-echo "smoke: ok (warm figures match the in-memory path; chunked and record-at-a-time scans agree; remote figures match over the wire; push + graceful shutdown persisted; pushdown figures survive retention compaction; two-hall fleet push analyzes hall-identical to the local store; corruption rejected)"
+echo "smoke: ok (warm figures match the in-memory path; chunked and record-at-a-time scans agree; remote figures match over the wire; push + graceful shutdown persisted; pushdown figures survive retention compaction; two-hall fleet push analyzes hall-identical to the local store; 3-job campaign sweep survived a worker kill and a dispatcher restart exactly-once; corruption rejected)"
